@@ -1,0 +1,91 @@
+// ffccd-bench regenerates the paper's tables and figures on the simulated
+// machine.
+//
+// Usage:
+//
+//	ffccd-bench -experiment all            # everything (slow)
+//	ffccd-bench -experiment table3 -scale 0.004
+//	ffccd-bench -list
+//
+// Experiments: fig1, fig5, table3, fig14, table4, fig15, fig16, table1,
+// table2, ablation-rbb, ablation-pmft.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ffccd/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (or 'all')")
+	scale := flag.Float64("scale", 0.002, "workload scale relative to the paper's 5M-insert setup")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	all := []exp{
+		{"table1", func() (fmt.Stringer, error) { return str(experiments.Table1()), nil }},
+		{"table2", func() (fmt.Stringer, error) { return str(experiments.Table2()), nil }},
+		{"fig1", func() (fmt.Stringer, error) { r, err := experiments.Figure1(*scale); return r, err }},
+		{"fig5", func() (fmt.Stringer, error) { r, err := experiments.Figure5(*scale); return r, err }},
+		{"table3", func() (fmt.Stringer, error) { r, err := experiments.Table3(*scale); return r, err }},
+		{"fig14", func() (fmt.Stringer, error) { r, err := experiments.Figure14(*scale); return r, err }},
+		{"table4", func() (fmt.Stringer, error) { r, err := experiments.Table4(*scale); return r, err }},
+		{"fig15", func() (fmt.Stringer, error) { r, err := experiments.Figure15(*scale); return r, err }},
+		{"fig16", func() (fmt.Stringer, error) { r, err := experiments.Figure16(*scale); return r, err }},
+		{"ablation-rbb", func() (fmt.Stringer, error) {
+			r, err := experiments.AblationRBB(*scale, []int{1, 4, 8, 32})
+			return r, err
+		}},
+		{"ablation-pmft", func() (fmt.Stringer, error) { r, err := experiments.AblationPMFT(*scale); return r, err }},
+		{"ablation-writes", func() (fmt.Stringer, error) { r, err := experiments.AblationWrites(*scale); return r, err }},
+	}
+
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.id)
+		}
+		return
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *experiment != "all" && *experiment != e.id {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (scale %g, %.1fs) ====\n%s\n", e.id, *scale, time.Since(start).Seconds(), out)
+		if *csvDir != "" {
+			if c, ok := out.(interface{ CSV() string }); ok {
+				path := fmt.Sprintf("%s/%s.csv", *csvDir, e.id)
+				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+				} else {
+					fmt.Printf("(csv written to %s)\n", path)
+				}
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+type str string
+
+func (s str) String() string { return string(s) }

@@ -1,0 +1,53 @@
+// ffccd-crashtest runs the §7.1 crash-consistency validation campaign:
+// fault injection at arbitrary points of the concurrent compacting phase
+// across the paper's 26 settings, with the two-step post-crash checker.
+//
+//	ffccd-crashtest -trials 1000            # the paper's full campaign
+//	ffccd-crashtest -trials 20 -setting LL/1T/ffccd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ffccd/internal/faultinject"
+)
+
+func main() {
+	trials := flag.Int("trials", 100, "fault-injection trials per setting (paper: 1000)")
+	setting := flag.String("setting", "", "run only this setting (e.g. LL/1T/ffccd)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	settings := faultinject.AllSettings()
+	failures := 0
+	total := 0
+	start := time.Now()
+	for _, s := range settings {
+		if *setting != "" && s.String() != *setting {
+			continue
+		}
+		t0 := time.Now()
+		out := faultinject.RunSetting(s, *trials, *seed)
+		total += out.Trials
+		status := "PASS"
+		if out.Passed != out.Trials {
+			status = "FAIL"
+			failures += out.Trials - out.Passed
+		}
+		fmt.Printf("%-22s %s  %d/%d trials  (%.1fs)\n", s, status, out.Passed, out.Trials, time.Since(t0).Seconds())
+		for i, f := range out.Failures {
+			if i >= 3 {
+				fmt.Printf("    ... %d more failures\n", len(out.Failures)-3)
+				break
+			}
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	fmt.Printf("\ncampaign: %d trials, %d failures, %.1fs\n", total, failures, time.Since(start).Seconds())
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

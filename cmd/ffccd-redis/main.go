@@ -1,0 +1,26 @@
+// ffccd-redis runs the §7.4 Redis case study and prints the Figure 16
+// footprint-over-time series and tail-latency comparison for the PMDK
+// baseline, FFCCD, a stop-the-world compactor, and Mesh.
+//
+//	ffccd-redis -scale 0.002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffccd/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.002, "workload scale relative to the paper")
+	flag.Parse()
+
+	res, err := experiments.Figure16(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+}

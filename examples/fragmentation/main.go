@@ -1,0 +1,111 @@
+// Fragmentation demo: reproduce the paper's Figure 1 motivation — persistent
+// memory fragmentation survives restarts and keeps worsening across runs of
+// the same application, unless a defragmenter intervenes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ffccd"
+)
+
+func main() {
+	for _, withDefrag := range []bool{false, true} {
+		label := "PMDK baseline (no defragmentation)"
+		if withDefrag {
+			label = "with FFCCD"
+		}
+		fmt.Printf("== %s ==\n", label)
+		run3(withDefrag)
+		fmt.Println()
+	}
+}
+
+func run3(withDefrag bool) {
+	cfg := ffccd.DefaultConfig()
+	rt := ffccd.NewRuntime(&cfg, 256<<20)
+	reg := func() *ffccd.Registry {
+		r := ffccd.NewRegistry()
+		ffccd.RegisterStoreTypes(r)
+		return r
+	}
+	pool, err := rt.Create("fragdemo", 96<<20, ffccd.Page4K, reg())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := rt.Device()
+
+	rng := rand.New(rand.NewSource(9))
+	var live []uint64
+	next := uint64(0)
+	val := func(k uint64) []byte { return make([]byte, 64+int(k*37%160)) }
+
+	for run := 1; run <= 3; run++ {
+		ctx := ffccd.NewCtx(&cfg)
+		if run > 1 {
+			// "Next day": reattach the device and reopen the pool.
+			rt2, err := ffccd.AttachRuntime(&cfg, dev)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pool, err = rt2.Open("fragdemo", reg())
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng, err := ffccd.Recover(ctx, pool, ffccd.EngineOptions{Scheme: ffccd.SchemeNone})
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng.Close()
+		}
+		list, err := ffccd.NewList(ctx, pool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var eng *ffccd.Engine
+		if withDefrag {
+			eng = ffccd.NewEngine(pool, ffccd.DefaultEngineOptions())
+		}
+
+		insert := func() {
+			k := next
+			next++
+			if err := list.Insert(ctx, k, val(k)); err != nil {
+				log.Fatal(err)
+			}
+			live = append(live, k)
+		}
+		remove := func() {
+			if len(live) == 0 {
+				return
+			}
+			i := rng.Intn(len(live))
+			k := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			list.Delete(ctx, k)
+		}
+
+		if run == 1 {
+			for i := 0; i < 8000; i++ {
+				insert()
+			}
+		}
+		for i := 0; i < 3200; i++ {
+			remove()
+		}
+		for i := 0; i < 3200; i++ {
+			insert()
+		}
+		if eng != nil {
+			eng.RunCycle(ctx)
+			eng.Close()
+		}
+		st := pool.Heap().Frag(ffccd.Page4K)
+		fmt.Printf("run %d: footprint=%.2f MB  live=%.2f MB  fragR=%.2f\n",
+			run, float64(st.FootprintBytes)/(1<<20), float64(st.LiveBytes)/(1<<20), st.FragRatio)
+		dev.FlushAll(ctx) // clean shutdown
+	}
+}

@@ -1,0 +1,84 @@
+package ffccd_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ffccd"
+)
+
+// TestPublicAPIRoundTrip exercises the README quickstart path end to end:
+// create, populate, fragment, defragment, crash, recover, verify.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := ffccd.DefaultConfig()
+	cfg.CacheBytes = 256 * 1024
+	rt := ffccd.NewRuntime(&cfg, 128<<20)
+	ctx := ffccd.NewCtx(&cfg)
+
+	reg := ffccd.NewRegistry()
+	ffccd.RegisterStoreTypes(reg)
+	pool, err := rt.Create("api", 64<<20, ffccd.Page4K, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := ffccd.NewList(ctx, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		if err := list.Insert(ctx, i, []byte{byte(i), 0x5A}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 3000; i += 2 {
+		list.Delete(ctx, i)
+	}
+	pool.Device().FlushAll(ctx)
+
+	opt := ffccd.DefaultEngineOptions()
+	opt.Scheme = ffccd.SchemeFFCCD
+	opt.TriggerRatio, opt.TargetRatio = 1.05, 1.02
+	eng := ffccd.NewEngine(pool, opt)
+	if !eng.BeginCycle(ctx) {
+		t.Fatal("expected a defragmentation cycle")
+	}
+	eng.StepCompaction(ctx, 300)
+
+	// Power failure mid-epoch, then the full recovery path.
+	pool.Device().Crash()
+	if eng.RBB() != nil {
+		eng.RBB().PowerLossFlush()
+	}
+	rt2, err := ffccd.AttachRuntime(&cfg, rt.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := ffccd.NewRegistry()
+	ffccd.RegisterStoreTypes(reg2)
+	pool2, err := rt2.Open("api", reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := ffccd.Recover(ctx, pool2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+
+	list2, err := ffccd.NewList(ctx, pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list2.Len() != 1500 {
+		t.Fatalf("len = %d, want 1500", list2.Len())
+	}
+	for i := uint64(1); i < 3000; i += 2 {
+		v, ok := list2.Get(ctx, i)
+		if !ok || !bytes.Equal(v, []byte{byte(i), 0x5A}) {
+			t.Fatalf("key %d lost or corrupt after crash recovery", i)
+		}
+	}
+	if st := pool2.Heap().Frag(ffccd.Page4K); st.FragRatio > 1.3 {
+		t.Errorf("post-recovery fragR = %.2f", st.FragRatio)
+	}
+}

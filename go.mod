@@ -1,0 +1,3 @@
+module ffccd
+
+go 1.22

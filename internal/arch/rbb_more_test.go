@@ -1,0 +1,136 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ffccd/internal/pmem"
+	"ffccd/internal/sim"
+)
+
+func TestRBBHeapBaseOffsetting(t *testing.T) {
+	cfg, dev, ctx := testSetup()
+	rbb := NewRBB(cfg, dev)
+	heapBase := uint64(64 << 12) // heap starts at frame 64 of the device
+	rbb.Configure(1<<20, heapBase, 32)
+	dev.SetRBB(rbb)
+
+	// A pending line below the heap base must be ignored.
+	dev.Relocate(ctx, 4096, 0, 64)
+	dev.Clwb(ctx, 4096)
+	dev.Sfence(ctx)
+	if rbb.Hits+rbb.Misses != 0 {
+		t.Fatal("line below heap base recorded")
+	}
+
+	// A line inside frame 2 of the heap maps to bitmap word 2.
+	dst := heapBase + 2<<FrameShift + 3<<pmem.LineShift
+	dev.Relocate(ctx, dst, 0, 64)
+	dev.Clwb(ctx, dst)
+	dev.Sfence(ctx)
+	if got := rbb.Read(ctx, 2); got != 1<<3 {
+		t.Fatalf("frame 2 word = %b, want bit 3", got)
+	}
+}
+
+func TestRBBRearmPreservesBitmap(t *testing.T) {
+	cfg, dev, ctx := testSetup()
+	rbb := NewRBB(cfg, dev)
+	rbb.Configure(1<<20, 0, 64)
+	dev.SetRBB(rbb)
+	dev.Relocate(ctx, 5<<FrameShift, 0, 64)
+	dev.Clwb(ctx, 5<<FrameShift)
+	dev.Sfence(ctx)
+	rbb.PowerLossFlush()
+
+	// Rearm (post-crash resume) must keep existing bits; Configure zeroes.
+	rbb.Rearm(1<<20, 0, 64)
+	if rbb.Read(ctx, 5)&1 == 0 {
+		t.Fatal("Rearm lost the reached bit")
+	}
+	rbb.Configure(1<<20, 0, 64)
+	if rbb.Read(ctx, 5) != 0 {
+		t.Fatal("Configure did not zero the bitmap")
+	}
+}
+
+func TestRBBReadMergesBufferAndMedia(t *testing.T) {
+	cfg, dev, ctx := testSetup()
+	rbb := NewRBB(cfg, dev)
+	rbb.Configure(1<<20, 0, 64)
+	dev.SetRBB(rbb)
+	// Bit for frame 1 resident only in the RBB entry (no flush).
+	dev.Relocate(ctx, 1<<FrameShift, 0, 64)
+	dev.Clwb(ctx, 1<<FrameShift)
+	dev.Sfence(ctx)
+	if rbb.Read(ctx, 1)&1 == 0 {
+		t.Fatal("Read missed a buffered bit")
+	}
+}
+
+func TestRBBBitAccumulationProperty(t *testing.T) {
+	// Property: the merged bitmap equals the OR of every reported line,
+	// regardless of eviction order, for arbitrary line sequences.
+	cfg, dev, _ := testSetup()
+	prop := func(raw []uint16) bool {
+		rbb := NewRBB(cfg, dev)
+		rbb.Configure(2<<20, 0, 64)
+		ctx := sim.NewCtx(cfg)
+		want := make(map[uint64]uint64)
+		for _, r := range raw {
+			frame := uint64(r) % 64
+			line := uint64(r>>6) % 64
+			addr := frame<<FrameShift | line<<pmem.LineShift
+			rbb.LineReached(ctx, addr)
+			want[frame] |= 1 << line
+		}
+		for frame, bits := range want {
+			if got := rbb.Read(ctx, frame); got != bits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckLookupUnitReset(t *testing.T) {
+	cfg, _, ctx := testSetup()
+	u := NewCheckLookupUnit(cfg)
+	page := uint64(3 << FrameShift)
+	bs := NewBloomSetFromPages([]uint64{page}, 8, 1024)
+	fwd := mapForwarder{page: 0x9000}
+	u.CheckLookup(ctx, page, bs, fwd)
+	u.Reset()
+	u.CheckLookup(ctx, page, bs, fwd)
+	if u.PMFTLBMisses != 2 {
+		t.Errorf("misses = %d after reset, want 2 (cold both times)", u.PMFTLBMisses)
+	}
+}
+
+func TestBloomGapSplitting(t *testing.T) {
+	// Pages in two clusters separated by a huge gap, plus a scattered set:
+	// clustered input → 2 tight ranges; scattered-but-dense input → 1 range.
+	var clustered []uint64
+	for i := uint64(0); i < 10; i++ {
+		clustered = append(clustered, (50+i)<<FrameShift, (90000+i)<<FrameShift)
+	}
+	bs := NewBloomSetFromPages(clustered, 8, 1024)
+	if len(bs.Ranges) != 2 {
+		t.Fatalf("clustered ranges = %d, want 2", len(bs.Ranges))
+	}
+	if bs.rangeFor(40000<<FrameShift) >= 0 {
+		t.Fatal("gap address covered")
+	}
+
+	var dense []uint64
+	for i := uint64(0); i < 64; i++ {
+		dense = append(dense, i*2<<FrameShift) // gaps of 1 page: below threshold
+	}
+	bs2 := NewBloomSetFromPages(dense, 8, 1024)
+	if len(bs2.Ranges) != 1 {
+		t.Fatalf("dense ranges = %d, want 1 (stable BFC)", len(bs2.Ranges))
+	}
+}

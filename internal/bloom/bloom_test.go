@@ -1,0 +1,86 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 4)
+	for i := uint64(0); i < 500; i++ {
+		f.Add(i * 4096)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if !f.Test(i * 4096) {
+			t.Fatalf("false negative for %d", i*4096)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := New(1024, 4)
+	for i := uint64(0); i < 500; i++ {
+		f.Add(i)
+	}
+	fp := 0
+	const probes = 10000
+	for i := uint64(1_000_000); i < 1_000_000+probes; i++ {
+		if f.Test(i) {
+			fp++
+		}
+	}
+	// 8192 bits, 500 elements, 4 hashes → theoretical fp ≈ 1.2%. Allow 5%.
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Errorf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(64, 3)
+	f.Add(42)
+	f.Reset()
+	if f.Test(42) {
+		t.Error("Test(42) true after Reset")
+	}
+	if f.Count() != 0 {
+		t.Errorf("count = %d after reset", f.Count())
+	}
+}
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f := New(128, 4)
+	for i := uint64(0); i < 1000; i++ {
+		if f.Test(i) {
+			t.Fatalf("empty filter accepted %d", i)
+		}
+	}
+}
+
+func TestMembershipProperty(t *testing.T) {
+	prop := func(vals []uint64, probe uint64) bool {
+		f := New(512, 4)
+		for _, v := range vals {
+			f.Add(v)
+		}
+		for _, v := range vals {
+			if !f.Test(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTinySizeClamped(t *testing.T) {
+	f := New(0, 0)
+	f.Add(7)
+	if !f.Test(7) {
+		t.Error("clamped filter lost element")
+	}
+	if f.SizeBytes() < 8 {
+		t.Errorf("size = %d, want >= 8", f.SizeBytes())
+	}
+}

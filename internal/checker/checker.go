@@ -1,0 +1,133 @@
+// Package checker implements the post-crash consistency validation used by
+// the §7.1 campaign, as a reusable library (in the spirit of PM debugging
+// tools like pmemcheck/Agamotto, scoped to this programming model):
+//
+//   - Step 1 (program data): every expected key readable with the expected
+//     value — driven by a workload model.
+//   - Step 2 (GC metadata vs memory): the defragmentation phase is quiescent,
+//     every reachable object is a well-formed allocation on a live frame,
+//     objects do not overlap, and references are well-formed.
+//
+// Both checks read through the normal access path; run them after recovery
+// (the cache is cold then, so reads reflect the persistent image).
+package checker
+
+import (
+	"bytes"
+	"fmt"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/ds"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// GraphStats summarises a graph check.
+type GraphStats struct {
+	Objects   int
+	Bytes     uint64
+	PtrFields int
+}
+
+// CheckStore verifies readability and values for every key of the model
+// (checker step 1).
+func CheckStore(ctx *sim.Ctx, s ds.Store, model map[uint64][]byte) error {
+	for k, want := range model {
+		got, ok := s.Get(ctx, k)
+		if !ok {
+			return fmt.Errorf("checker: key %d lost", k)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("checker: key %d corrupted (%d bytes vs %d)", k, len(got), len(want))
+		}
+	}
+	if s.Len() != len(model) {
+		return fmt.Errorf("checker: store length %d, model %d", s.Len(), len(model))
+	}
+	return nil
+}
+
+// CheckGraph validates agreement between the object graph, the allocator and
+// the defragmentation metadata (checker step 2). It returns statistics about
+// the reachable graph on success.
+func CheckGraph(ctx *sim.Ctx, p *pmop.Pool) (GraphStats, error) {
+	var st GraphStats
+	if phase := p.GCPhase(ctx) & 0xFF; phase != 0 {
+		return st, fmt.Errorf("checker: defragmentation phase not idle: %d", phase)
+	}
+	heap := p.Heap()
+	heapOff := heap.HeapOff()
+	heapEnd := heapOff + uint64(heap.Frames())*alloc.FrameSize
+	reg := p.Types()
+
+	seenSlots := make(map[uint64]bool)
+	visited := make(map[uint64]bool)
+	var walk func(obj pmop.Ptr) error
+	walk = func(obj pmop.Ptr) error {
+		if obj.IsNull() || visited[obj.Offset()] {
+			return nil
+		}
+		visited[obj.Offset()] = true
+		off := obj.Offset()
+		if off < heapOff+pmop.HeaderSize || off >= heapEnd {
+			return fmt.Errorf("checker: reference outside heap: %v", obj)
+		}
+		if off%alloc.SlotSize != 0 {
+			return fmt.Errorf("checker: unaligned reference %v", obj)
+		}
+		hdr := off - pmop.HeaderSize
+		tid, payload := p.Header(ctx, obj)
+		ti, ok := reg.Lookup(tid)
+		if !ok {
+			return fmt.Errorf("checker: object %#x has unregistered type %d", off, tid)
+		}
+		if payload == 0 || payload > 4064 {
+			return fmt.Errorf("checker: object %#x (%s) has insane payload %d", off, ti.Name, payload)
+		}
+		if ti.Size > 0 && payload != ti.Size {
+			return fmt.Errorf("checker: object %#x payload %d != registered size %d (%s)",
+				off, payload, ti.Size, ti.Name)
+		}
+		if !heap.IsStart(hdr) {
+			return fmt.Errorf("checker: reachable object %#x is not an allocation start", off)
+		}
+		frame := heap.FrameOf(hdr)
+		if heap.State(frame) == alloc.FrameFree {
+			return fmt.Errorf("checker: reachable object %#x on free frame %d", off, frame)
+		}
+		slots := alloc.SlotsFor(payload)
+		for s := 0; s < slots; s++ {
+			slotOff := hdr + uint64(s)*alloc.SlotSize
+			if seenSlots[slotOff] {
+				return fmt.Errorf("checker: objects overlap at %#x", slotOff)
+			}
+			seenSlots[slotOff] = true
+		}
+		st.Objects++
+		st.Bytes += uint64(slots) * alloc.SlotSize
+		for _, fo := range ti.PointerOffsets(payload) {
+			st.PtrFields++
+			ref := pmop.Ptr(p.RawLoadU64(ctx, off+fo))
+			if ref.IsNull() {
+				continue
+			}
+			if ref.PoolID() != p.ID() {
+				return fmt.Errorf("checker: object %#x holds foreign-pool reference %v", off, ref)
+			}
+			if err := walk(ref); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Root(ctx)); err != nil {
+		return st, err
+	}
+
+	// The allocator's live accounting must not be below what's reachable
+	// (reachable ⊆ allocated; the difference is floating garbage).
+	if live := heap.LiveBytes(); live < st.Bytes {
+		return st, fmt.Errorf("checker: allocator live bytes %d < reachable bytes %d", live, st.Bytes)
+	}
+	return st, nil
+}

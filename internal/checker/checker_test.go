@@ -1,0 +1,163 @@
+package checker_test
+
+import (
+	"strings"
+	"testing"
+
+	"ffccd/internal/checker"
+	"ffccd/internal/core"
+	"ffccd/internal/ds"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+func setup(t *testing.T) (*pmop.Pool, *sim.Ctx, *ds.List) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	rt := pmop.NewRuntime(&cfg, 32<<20)
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	p, err := rt.Create("chk", 16<<20, 12, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewCtx(&cfg)
+	l, err := ds.NewList(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ctx, l
+}
+
+func TestCleanGraphPasses(t *testing.T) {
+	p, ctx, l := setup(t)
+	model := map[uint64][]byte{}
+	for i := uint64(0); i < 300; i++ {
+		v := []byte{byte(i), 0x42}
+		if err := l.Insert(ctx, i, v); err != nil {
+			t.Fatal(err)
+		}
+		model[i] = v
+	}
+	if err := checker.CheckStore(ctx, l, model); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checker.CheckGraph(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// listroot + 300 nodes + 300 values.
+	if st.Objects != 601 {
+		t.Errorf("objects = %d, want 601", st.Objects)
+	}
+	if st.PtrFields == 0 || st.Bytes == 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+}
+
+func TestDetectsValueCorruption(t *testing.T) {
+	_, ctx, l := setup(t)
+	model := map[uint64][]byte{}
+	for i := uint64(0); i < 50; i++ {
+		v := []byte{byte(i)}
+		l.Insert(ctx, i, v)
+		model[i] = v
+	}
+	model[7] = []byte{0xEE} // the store holds byte(7)
+	err := checker.CheckStore(ctx, l, model)
+	if err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corruption undetected: %v", err)
+	}
+}
+
+func TestDetectsLostKey(t *testing.T) {
+	_, ctx, l := setup(t)
+	model := map[uint64][]byte{1: {1}, 2: {2}}
+	l.Insert(ctx, 1, []byte{1})
+	err := checker.CheckStore(ctx, l, model)
+	if err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("lost key undetected: %v", err)
+	}
+}
+
+func TestDetectsDanglingPointer(t *testing.T) {
+	p, ctx, l := setup(t)
+	for i := uint64(0); i < 20; i++ {
+		l.Insert(ctx, i, []byte{byte(i)})
+	}
+	// Corrupt a node's next pointer to aim outside the heap.
+	head := p.Root(ctx)
+	node := p.ReadPtr(ctx, head, 0)
+	p.RawStoreU64(ctx, node.Offset()+16, uint64(pmop.MakePtr(p.ID(), 32)))
+	if _, err := checker.CheckGraph(ctx, p); err == nil {
+		t.Fatal("dangling pointer undetected")
+	}
+}
+
+func TestDetectsCorruptHeader(t *testing.T) {
+	p, ctx, l := setup(t)
+	for i := uint64(0); i < 20; i++ {
+		l.Insert(ctx, i, []byte{byte(i)})
+	}
+	head := p.Root(ctx)
+	node := p.ReadPtr(ctx, head, 0)
+	// Smash the payload-length field of the node's header.
+	p.RawStore(ctx, node.Offset()-12, []byte{0xFF, 0xFF, 0x00, 0x00})
+	_, err := checker.CheckGraph(ctx, p)
+	if err == nil || !strings.Contains(err.Error(), "payload") {
+		t.Fatalf("corrupt header undetected: %v", err)
+	}
+}
+
+func TestDetectsGCPhaseStuck(t *testing.T) {
+	p, ctx, l := setup(t)
+	l.Insert(ctx, 1, []byte{1})
+	p.SetGCPhase(ctx, 1) // pretend a compaction epoch never finished
+	_, err := checker.CheckGraph(ctx, p)
+	if err == nil || !strings.Contains(err.Error(), "phase") {
+		t.Fatalf("stuck phase undetected: %v", err)
+	}
+}
+
+func TestDetectsReferenceToFreedObject(t *testing.T) {
+	p, ctx, l := setup(t)
+	for i := uint64(0); i < 20; i++ {
+		l.Insert(ctx, i, []byte{byte(i)})
+	}
+	// Free a value object the list still references.
+	head := p.Root(ctx)
+	node := p.ReadPtr(ctx, head, 0)
+	val := p.ReadPtr(ctx, node, 8)
+	p.Free(ctx, val)
+	_, err := checker.CheckGraph(ctx, p)
+	if err == nil {
+		t.Fatal("reference to freed object undetected")
+	}
+}
+
+func TestCheckGraphAfterDefrag(t *testing.T) {
+	// The checker must pass on a heap immediately after a full
+	// defragmentation cycle (the state the §7.1 campaign validates).
+	p, ctx, l := setup(t)
+	for i := uint64(0); i < 1500; i++ {
+		l.Insert(ctx, i, []byte{byte(i), byte(i >> 8), 0x3C})
+	}
+	for i := uint64(0); i < 1500; i += 2 {
+		l.Delete(ctx, i)
+	}
+	opt := core.DefaultOptions()
+	opt.TriggerRatio, opt.TargetRatio = 1.05, 1.02
+	eng := core.NewEngine(p, opt)
+	defer eng.Close()
+	if !eng.RunCycle(ctx) {
+		t.Skip("heap too dense")
+	}
+	st, err := checker.CheckGraph(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// listroot + 750 nodes + 750 values.
+	if st.Objects != 1501 {
+		t.Errorf("objects = %d, want 1501", st.Objects)
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"sync"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/pmem"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// movedByteLocks serialises read-modify-write of persistent moved-bitmap
+// bytes shared by neighbouring objects.
+var movedByteLocks [128]sync.Mutex
+
+// relocateObject moves one object (and, under the fence-free schemes, every
+// object sharing its destination cacheline — the cluster) from its
+// relocation page to its PMFT-determined destination using the active
+// scheme's persistence protocol (Fig. 6a, Fig. 7a, Fig. 9a). Safe to call
+// concurrently from the read barrier and the background mover; exactly one
+// caller performs the move. The lock is keyed by the destination line so
+// cluster members serialise on the same stripe.
+func (e *Engine) relocateObject(ctx *sim.Ctx, ep *epochState, idx int, fromBarrier bool) {
+	cluster := ep.clusterOf(idx)
+	// All component members serialise on the stripe of the component's
+	// first destination line.
+	lock := &e.relocLocks[(ep.objects[cluster[0]].dstHdr>>pmem.LineShift)%relocStripes]
+	lock.Lock()
+	defer lock.Unlock()
+	if ep.isMoved(idx) {
+		return
+	}
+
+	p := e.pool
+	obj := &ep.objects[idx]
+	switch ep.scheme {
+	case SchemeEspresso:
+		// Fig. 6a: memcpy; clwb each destination line; sfence; moved=1;
+		// clwb; sfence — two full persist barriers.
+		n := obj.bytes()
+		e.copyObject(ctx, obj.srcHdr, obj.dstHdr, n)
+		for a := obj.dstHdr &^ (pmem.LineSize - 1); a < obj.dstHdr+n; a += pmem.LineSize {
+			p.Clwb(ctx, a)
+		}
+		p.Sfence(ctx)
+		e.storeMovedBit(ctx, obj, true, true)
+		e.finishMove(ep, idx, fromBarrier)
+
+	case SchemeSFCCD:
+		// Fig. 7a: memcpy; clwb destination lines (unfenced); moved=1;
+		// clwb(moved); single sfence covering both.
+		n := obj.bytes()
+		e.copyObject(ctx, obj.srcHdr, obj.dstHdr, n)
+		for a := obj.dstHdr &^ (pmem.LineSize - 1); a < obj.dstHdr+n; a += pmem.LineSize {
+			p.Clwb(ctx, a)
+		}
+		e.storeMovedBit(ctx, obj, true, false)
+		p.Sfence(ctx)
+		e.finishMove(ep, idx, fromBarrier)
+
+	case SchemeFFCCD, SchemeFFCCDCheckLookup:
+		// Fig. 9a: relocate instruction(s) — pending-bit-tagged copy, no
+		// clwb, no sfence; the moved bit is a plain store that reaches PM
+		// lazily. Crash consistency comes from the reached bitmap, whose
+		// per-line granularity requires every object sharing the destination
+		// line to move in the same line-atomic operation.
+		cluster := ep.clusterOf(idx)
+		// Skip members that already moved (possible after a crash recovery
+		// finished part of the component): re-copying them would overwrite
+		// post-move application writes. The line assembly preserves their
+		// destination bytes by loading gaps from current contents.
+		parts := make([]pmem.RelocatePart, 0, len(cluster))
+		pendingMembers := cluster[:0:0]
+		for _, ci := range cluster {
+			if ep.isMoved(ci) {
+				continue
+			}
+			co := &ep.objects[ci]
+			if ctx.TLB != nil {
+				ctx.Charge(ctx.TLB.Access(p.VA(co.srcHdr), p.PageShift()))
+				ctx.Charge(ctx.TLB.Access(p.VA(co.dstHdr), p.PageShift()))
+			}
+			parts = append(parts, pmem.RelocatePart{
+				Dst: p.PA(co.dstHdr), Src: p.PA(co.srcHdr), N: co.bytes(),
+			})
+			pendingMembers = append(pendingMembers, ci)
+		}
+		p.Device().RelocateParts(ctx, parts)
+		for _, ci := range pendingMembers {
+			e.storeMovedBit(ctx, &ep.objects[ci], false, false)
+			e.finishMove(ep, ci, fromBarrier && ci == idx)
+		}
+	}
+}
+
+// finishMove flips the volatile moved state and counters for one object.
+func (e *Engine) finishMove(ep *epochState, idx int, fromBarrier bool) {
+	if !ep.setMoved(idx) {
+		return
+	}
+	ep.pending.Add(-1)
+	e.objectsMoved.Add(1)
+	if fromBarrier {
+		e.barrierMoves.Add(1)
+	}
+}
+
+// copyObject is the software memcpy through the cache hierarchy.
+func (e *Engine) copyObject(ctx *sim.Ctx, src, dst, n uint64) {
+	p := e.pool
+	var buf [pmem.LineSize]byte
+	for done := uint64(0); done < n; {
+		step := uint64(pmem.LineSize)
+		if n-done < step {
+			step = n - done
+		}
+		p.RawLoad(ctx, src+done, buf[:step])
+		p.RawStore(ctx, dst+done, buf[:step])
+		done += step
+	}
+}
+
+// storeMovedBit sets the object's persistent moved bit. flush adds a clwb;
+// fence adds the trailing sfence (Espresso). SFCCD passes flush=true via its
+// caller's ordering: the clwb happens here, the shared sfence in the caller.
+func (e *Engine) storeMovedBit(ctx *sim.Ctx, obj *relocObj, flush, fence bool) {
+	p := e.pool
+	heap := p.Heap()
+	f, slot := heap.Locate(obj.srcHdr)
+	off, mask := movedBitOff(p, f, slot)
+	l := &movedByteLocks[off%128]
+	l.Lock()
+	var b [1]byte
+	p.RawLoad(ctx, off, b[:])
+	b[0] |= mask
+	p.RawStore(ctx, off, b[:])
+	l.Unlock()
+	if flush || fence {
+		p.Clwb(ctx, off)
+	}
+	if fence {
+		p.Sfence(ctx)
+	}
+}
+
+// sfccdTxAddHook is installed on the pool under SFCCD. When the application
+// first logs (and therefore is about to modify) a range inside a moved
+// object's destination copy, the hook durably tombstones the *source*
+// header. SFCCD recovery then knows a content mismatch between source and
+// destination means "application modified it" rather than "memcpy lost"
+// (see DESIGN.md; this closes the ambiguity in Fig. 7b's content check).
+func (e *Engine) sfccdTxAddHook(ctx *sim.Ctx, off, n uint64) {
+	e.mu.Lock()
+	ep := e.epoch
+	e.mu.Unlock()
+	if ep == nil {
+		return
+	}
+	idx, ok := ep.findDestObject(e.pool, off)
+	if !ok || !ep.isMoved(idx) {
+		return
+	}
+	obj := &ep.objects[idx]
+	ep.tombMu.Lock()
+	if ep.tombstoned[obj.srcHdr] {
+		ep.tombMu.Unlock()
+		return
+	}
+	ep.tombstoned[obj.srcHdr] = true
+	ep.tombMu.Unlock()
+	p := e.pool
+	p.RawStoreU64(ctx, obj.srcHdr+8, sfccdTombstone)
+	p.Clwb(ctx, obj.srcHdr+8)
+	p.Sfence(ctx)
+}
+
+// finishEpoch is §5 terminate(): after every object has moved, stop the
+// world once more, rewrite all remaining references into relocation pages,
+// flush everything durable, release the relocation pages, and leave the
+// compacting phase.
+func (e *Engine) finishEpoch(ctx *sim.Ctx, ep *epochState) {
+	p := e.pool
+
+	// Belt and braces: relocate anything the background mover missed.
+	for i := range ep.objects {
+		if !ep.isMoved(i) {
+			e.relocateObject(ctx.WithCat(sim.CatCopy), ep, i, false)
+		}
+	}
+
+	p.StopWorld()
+	defer p.ResumeWorld()
+	e.finishEpochLocked(ctx, ep)
+}
+
+// finishEpochLocked is the terminate tail; the caller holds the world.
+func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
+	p := e.pool
+	gctx := ctx.WithCat(sim.CatGCMisc)
+
+	// Final reference fixup: one reachability pass rewriting every pointer
+	// that still aims into a relocation frame (§5: "defragmentation runs
+	// reachability again to finish all pending relocation and reference
+	// updates, and release relocation pages").
+	heap := p.Heap()
+	e.mark(gctx, func(_ *sim.Ctx, _ uint64, ref pmop.Ptr) pmop.Ptr {
+		if ref.PoolID() != p.ID() || ref.Offset() < heap.HeapOff() {
+			return ref
+		}
+		if dst, ok := ep.lookupSrc(p, ref.Offset()); ok {
+			return ref.WithOffset(dst)
+		}
+		return ref
+	})
+
+	// Heal application-held volatile pointer caches (handle maps, DRAM
+	// indexes) while the world is stopped and the forwarding info is live.
+	p.RunRemapHooks(func(ref pmop.Ptr) pmop.Ptr {
+		if ref.IsNull() || ref.PoolID() != p.ID() || ref.Offset() < heap.HeapOff() {
+			return ref
+		}
+		if dst, ok := ep.lookupSrc(p, ref.Offset()); ok {
+			return ref.WithOffset(dst)
+		}
+		return ref
+	})
+
+	// Make the moved data, moved bits and updated references durable before
+	// the source pages can ever be reused. For the fence-free schemes this
+	// is where lazily-pending lines are forced home (and the RBB sees them).
+	p.Device().FlushAll(gctx)
+
+	// Durably leave the compacting phase; the PMFT entries become stale by
+	// epoch number.
+	p.SetGCPhase(gctx, packPhase(phaseIdle, ep.scheme, ep.epochNo))
+
+	// Release relocation frames and open destination frames for allocation.
+	for _, f := range ep.relocFrames {
+		heap.ReleaseFrame(f)
+		e.framesReleased.Add(1)
+	}
+	heap.SubDup(ep.dupBytes)
+	for _, f := range ep.destFrames {
+		if heap.State(f) == alloc.FrameDestination {
+			heap.SetState(f, alloc.FrameActive)
+		}
+	}
+	if e.rbb != nil {
+		e.rbb.Deactivate()
+	}
+	p.SetBarrier(nil)
+	e.mu.Lock()
+	e.epoch = nil
+	e.mu.Unlock()
+}

@@ -1,0 +1,362 @@
+// Package core implements the paper's primary contribution: fence-free
+// crash-consistent concurrent defragmentation (FFCCD) for persistent memory,
+// together with the two baselines it is evaluated against — the Espresso
+// -style two-fence design and the single-fence SFCCD — and the checklookup
+// hardware acceleration (§3–§5).
+//
+// An Engine attaches to one pmop.Pool. A defragmentation cycle is:
+//
+//	marking  (stop-the-world, idempotent)     §5 marking()
+//	summary  (stop-the-world, idempotent;     §5 summary(): page ranking,
+//	          persists the PMFT)               PMFT build, leak reclamation)
+//	compact  (concurrent: read barrier in      §3.3.3 read barriers +
+//	          D_RW/D_RO + background mover)    background relocation
+//	finish   (reference fixup, durable flush,  §5 terminate() / periodic
+//	          page release)                     release checks
+//
+// Crash recovery for each scheme implements Observations 1–4 (§3.3.3).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ffccd/internal/arch"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// Scheme selects the crash-consistency design for the compacting phase.
+type Scheme int
+
+const (
+	// SchemeNone disables defragmentation (the PMDK baseline).
+	SchemeNone Scheme = iota
+	// SchemeEspresso is the state-of-the-art baseline (§3.3.2): two
+	// clwb+sfence pairs per relocated object.
+	SchemeEspresso
+	// SchemeSFCCD removes one of the two fences (§3.3.3, Fig. 7) at the cost
+	// of content inspection during recovery.
+	SchemeSFCCD
+	// SchemeFFCCD removes all fences using the relocate instruction and the
+	// reached bitmap (§4.2); check+lookup stays in software.
+	SchemeFFCCD
+	// SchemeFFCCDCheckLookup adds the BFC + PMFTLB checklookup acceleration
+	// (§4.3).
+	SchemeFFCCDCheckLookup
+)
+
+var schemeNames = [...]string{"none", "espresso", "sfccd", "ffccd", "ffccd+cl"}
+
+func (s Scheme) String() string {
+	if s < 0 || int(s) >= len(schemeNames) {
+		return "unknown"
+	}
+	return schemeNames[s]
+}
+
+// UsesRelocateInstruction reports whether the scheme relies on the pending-
+// bit/RBB hardware.
+func (s Scheme) UsesRelocateInstruction() bool {
+	return s == SchemeFFCCD || s == SchemeFFCCDCheckLookup
+}
+
+// Options configure an Engine (the paper's init() parameters, §5).
+type Options struct {
+	Scheme Scheme
+	// TriggerRatio starts a cycle when fragR exceeds it (paper: 1.5 normal,
+	// 1.7 relaxed).
+	TriggerRatio float64
+	// TargetRatio is the fragR the summary phase compacts down to (paper:
+	// 1.25 normal, 1.5 relaxed).
+	TargetRatio float64
+	// BatchObjects is how many objects the background mover relocates
+	// between yields (concurrency pacing).
+	BatchObjects int
+	// AutoTrigger runs cycles from a background goroutine when pmalloc/pfree
+	// observe high fragmentation. When false, RunCycle is manual.
+	AutoTrigger bool
+}
+
+// NormalParams are the paper's normal defragmentation parameters (Redis
+// defaults): trigger 1.5, target 1.25.
+func NormalParams() (trigger, target float64) { return 1.5, 1.25 }
+
+// RelaxedParams are the relaxed parameters: trigger 1.7, target 1.5.
+func RelaxedParams() (trigger, target float64) { return 1.7, 1.5 }
+
+// DefaultOptions returns FFCCD+checklookup with normal parameters.
+func DefaultOptions() Options {
+	tr, tg := NormalParams()
+	return Options{
+		Scheme:       SchemeFFCCDCheckLookup,
+		TriggerRatio: tr,
+		TargetRatio:  tg,
+		BatchObjects: 32,
+	}
+}
+
+// relocStripes is the number of per-object relocation locks.
+const relocStripes = 256
+
+// Engine drives defragmentation for one pool.
+type Engine struct {
+	pool *pmop.Pool
+	cfg  *sim.Config
+	opt  Options
+	rbb  *arch.RBB
+
+	gcCtx *sim.Ctx // background thread's clock/TLB
+
+	mu    sync.Mutex // guards epoch pointer and cycle state machine
+	epoch *epochState
+	busy  atomic.Bool // a cycle is running
+
+	relocLocks [relocStripes]sync.Mutex
+
+	trigger   chan struct{}
+	stopCh    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// Stats (atomic; read via Stats()).
+	stw            stwState
+	cycles         atomic.Uint64
+	framesReleased atomic.Uint64
+	objectsMoved   atomic.Uint64
+	barrierMoves   atomic.Uint64
+	leaksReclaimed atomic.Uint64
+}
+
+// NewEngine attaches a defragmentation engine to a pool. For the FFCCD
+// schemes it wires the RBB into the device. Call Close when done.
+func NewEngine(p *pmop.Pool, opt Options) *Engine {
+	cfg := p.Config()
+	e := &Engine{
+		pool:    p,
+		cfg:     cfg,
+		opt:     opt,
+		gcCtx:   sim.NewCtx(cfg),
+		trigger: make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+	}
+	if opt.BatchObjects <= 0 {
+		e.opt.BatchObjects = 32
+	}
+	if opt.Scheme.UsesRelocateInstruction() {
+		e.rbb = arch.NewRBB(cfg, p.Device())
+		p.Device().SetRBB(e.rbb)
+	}
+	if opt.Scheme == SchemeSFCCD {
+		p.SetTxAddHook(e.sfccdTxAddHook)
+	}
+	if opt.AutoTrigger && opt.Scheme != SchemeNone {
+		p.SetAllocHook(e.checkTrigger)
+		e.wg.Add(1)
+		go e.triggerLoop()
+	}
+	return e
+}
+
+// Pool returns the attached pool.
+func (e *Engine) Pool() *pmop.Pool { return e.pool }
+
+// RBB returns the reached-bitmap buffer (nil for non-FFCCD schemes).
+func (e *Engine) RBB() *arch.RBB { return e.rbb }
+
+// GCClock returns the background thread's cycle clock.
+func (e *Engine) GCClock() *sim.Clock { return e.gcCtx.Clock }
+
+// Stats summarises engine activity.
+type EngineStats struct {
+	Cycles         uint64
+	FramesReleased uint64
+	ObjectsMoved   uint64
+	BarrierMoves   uint64
+	LeaksReclaimed uint64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Cycles:         e.cycles.Load(),
+		FramesReleased: e.framesReleased.Load(),
+		ObjectsMoved:   e.objectsMoved.Load(),
+		BarrierMoves:   e.barrierMoves.Load(),
+		LeaksReclaimed: e.leaksReclaimed.Load(),
+	}
+}
+
+// checkTrigger is the pmalloc/pfree hook (§5): signal the engine when the
+// fragmentation ratio crosses the trigger threshold.
+func (e *Engine) checkTrigger() {
+	if e.busy.Load() {
+		return
+	}
+	fr := e.pool.Heap().Frag(e.pool.PageShift())
+	if fr.FragRatio > e.opt.TriggerRatio && fr.LiveBytes > 0 {
+		select {
+		case e.trigger <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (e *Engine) triggerLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-e.trigger:
+			e.RunCycle(e.gcCtx)
+		}
+	}
+}
+
+// Close implements the paper's exit(): it completes any in-flight
+// defragmentation (terminate(): finish pending relocations and reference
+// updates, release relocation pages, drop metadata) and stops the engine.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		close(e.stopCh)
+		if e.opt.AutoTrigger {
+			e.pool.SetAllocHook(nil)
+		}
+		e.wg.Wait()
+		// Finish an epoch that a manual BeginCycle left open.
+		e.mu.Lock()
+		ep := e.epoch
+		e.mu.Unlock()
+		if ep != nil {
+			e.finishEpoch(e.gcCtx, ep)
+		}
+		e.pool.SetTxAddHook(nil)
+	})
+}
+
+// RunCycle executes one full defragmentation cycle synchronously:
+// mark → summary → concurrent compaction → finish. It is a no-op if another
+// cycle is running or the scheme is SchemeNone. Returns true if a cycle ran.
+func (e *Engine) RunCycle(ctx *sim.Ctx) bool {
+	if e.opt.Scheme == SchemeNone {
+		return false
+	}
+	if !e.busy.CompareAndSwap(false, true) {
+		return false
+	}
+	defer e.busy.Store(false)
+
+	ep := e.prepare(ctx)
+	if ep == nil {
+		return false
+	}
+	e.compact(ctx, ep)
+	e.finishEpoch(ctx, ep)
+	e.cycles.Add(1)
+	return true
+}
+
+// BeginCycle runs only the stop-the-world phases (marking + summary) and
+// installs the read barrier, leaving the epoch open with no object moved
+// yet. Crash-injection harnesses use it with StepCompaction and FinishCycle
+// to construct mid-compaction states deterministically. Returns false if the
+// heap did not need compaction (or a cycle is already running).
+func (e *Engine) BeginCycle(ctx *sim.Ctx) bool {
+	if e.opt.Scheme == SchemeNone || !e.busy.CompareAndSwap(false, true) {
+		return false
+	}
+	if e.prepare(ctx) == nil {
+		e.busy.Store(false)
+		return false
+	}
+	return true
+}
+
+// StepCompaction relocates up to n not-yet-moved objects of the open epoch
+// and returns how many it moved. Zero means compaction is complete.
+func (e *Engine) StepCompaction(ctx *sim.Ctx, n int) int {
+	e.mu.Lock()
+	ep := e.epoch
+	e.mu.Unlock()
+	if ep == nil {
+		return 0
+	}
+	moved := 0
+	for i := range ep.objects {
+		if moved >= n {
+			break
+		}
+		if !ep.isMoved(i) {
+			e.relocateObject(ctx.WithCat(sim.CatCopy), ep, i, false)
+			moved++
+		}
+	}
+	return moved
+}
+
+// EpochPending returns the number of not-yet-moved objects in the open
+// epoch (0 when idle).
+func (e *Engine) EpochPending() int {
+	e.mu.Lock()
+	ep := e.epoch
+	e.mu.Unlock()
+	if ep == nil {
+		return 0
+	}
+	return int(ep.pending.Load())
+}
+
+// FinishCycle completes an epoch opened by BeginCycle: it relocates the
+// remaining objects and runs the terminate path.
+func (e *Engine) FinishCycle(ctx *sim.Ctx) {
+	e.mu.Lock()
+	ep := e.epoch
+	e.mu.Unlock()
+	if ep == nil {
+		e.busy.Store(false)
+		return
+	}
+	e.compact(ctx, ep)
+	e.finishEpoch(ctx, ep)
+	e.cycles.Add(1)
+	e.busy.Store(false)
+}
+
+// prepare runs the stop-the-world phases (marking + summary) and installs
+// the read barrier. Returns nil when fragmentation is already at target.
+func (e *Engine) prepare(ctx *sim.Ctx) *epochState {
+	p := e.pool
+	p.StopWorld()
+	defer p.ResumeWorld()
+
+	live := e.mark(ctx.WithCat(sim.CatMark), nil)
+	ep := e.summary(ctx.WithCat(sim.CatSummary), live)
+	if ep == nil {
+		return nil
+	}
+	e.mu.Lock()
+	e.epoch = ep
+	e.mu.Unlock()
+	p.SetBarrier(&readBarrier{e: e, ep: ep})
+	return ep
+}
+
+// compact runs the background mover until every relocation object has moved.
+// Application threads run concurrently, relocating on demand through the
+// read barrier.
+func (e *Engine) compact(ctx *sim.Ctx, ep *epochState) {
+	moved := 0
+	for _, obj := range ep.objects {
+		if ep.isMoved(obj.index) {
+			continue
+		}
+		e.relocateObject(ctx.WithCat(sim.CatCopy), ep, obj.index, false)
+		moved++
+		if moved%e.opt.BatchObjects == 0 {
+			// Concurrent pacing: let application threads in.
+			time.Sleep(time.Microsecond)
+		}
+	}
+}

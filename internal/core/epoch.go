@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/arch"
+	"ffccd/internal/pmem"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// pmemLineShift mirrors pmem.LineShift for cluster keys.
+const pmemLineShift = pmem.LineShift
+
+// relocObj is one object scheduled for relocation in the current epoch.
+type relocObj struct {
+	index   int
+	srcHdr  uint64 // pool offset of the source header slot
+	dstHdr  uint64 // pool offset of the destination header slot
+	slots   int    // total slots (header + payload)
+	payload uint64
+}
+
+func (o *relocObj) srcPayload() uint64 { return o.srcHdr + pmop.HeaderSize }
+func (o *relocObj) dstPayload() uint64 { return o.dstHdr + pmop.HeaderSize }
+func (o *relocObj) bytes() uint64      { return uint64(o.slots) * alloc.SlotSize }
+
+// epochState is the volatile mirror of one defragmentation epoch: the
+// relocation set, the forwarding information, and the per-object movement
+// state. Built during the stop-the-world summary (or reconstructed from the
+// persistent PMFT during recovery); read-only afterwards except for the
+// atomic moved flags.
+type epochState struct {
+	epochNo uint64
+	scheme  Scheme
+
+	relocFrames []int
+	relocSet    map[int]bool
+	destFrames  []int
+
+	objects []relocObj
+	bySrc   map[uint64]int // src payload offset → object index
+	byDst   map[uint64]int // dst payload offset → object index
+
+	// destIndex lists, per destination frame, object indices sorted by
+	// destination offset — used to find the object containing an arbitrary
+	// destination address (tx hook, recovery).
+	destIndex map[int][]int
+
+	// components groups objects whose destination cachelines overlap
+	// (connected components over line sharing); such objects are relocated
+	// together as one operation whose destination lines are written
+	// atomically under the fence-free schemes. compOf maps an object index
+	// to its component.
+	components [][]int
+	compOf     []int32
+
+	// minor[f] is frame f's volatile minor-distance map; destFrame[f] its
+	// major distance.
+	minor     map[int]*[alloc.SlotsPerFrame]byte
+	destFrame map[int]int
+
+	moved    []uint32 // atomic: 1 once the object's move completed
+	pending  atomic.Int64
+	dupBytes uint64 // double-counted bytes registered with the heap
+
+	blooms *arch.BloomSet
+	fwd    *pmftForwarder
+
+	tombMu     sync.Mutex
+	tombstoned map[uint64]bool // srcHdr offsets already tombstoned (SFCCD)
+}
+
+func (ep *epochState) isMoved(i int) bool  { return atomic.LoadUint32(&ep.moved[i]) == 1 }
+func (ep *epochState) setMoved(i int) bool { return atomic.SwapUint32(&ep.moved[i], 1) == 0 }
+
+// buildIndexes populates the lookup maps from ep.objects and the per-frame
+// forwarding info.
+func (ep *epochState) buildIndexes(p *pmop.Pool) {
+	ep.relocSet = make(map[int]bool, len(ep.relocFrames))
+	for _, f := range ep.relocFrames {
+		ep.relocSet[f] = true
+	}
+	ep.bySrc = make(map[uint64]int, len(ep.objects))
+	ep.byDst = make(map[uint64]int, len(ep.objects))
+	ep.destIndex = make(map[int][]int)
+	heap := p.Heap()
+	for i := range ep.objects {
+		o := &ep.objects[i]
+		o.index = i
+		ep.bySrc[o.srcPayload()] = i
+		ep.byDst[o.dstPayload()] = i
+		df := heap.FrameOf(o.dstHdr)
+		ep.destIndex[df] = append(ep.destIndex[df], i)
+	}
+	for f := range ep.destIndex {
+		idx := ep.destIndex[f]
+		sort.Slice(idx, func(a, b int) bool {
+			return ep.objects[idx[a]].dstHdr < ep.objects[idx[b]].dstHdr
+		})
+	}
+	ep.moved = make([]uint32, len(ep.objects))
+	ep.tombstoned = make(map[uint64]bool)
+	ep.pending.Store(int64(len(ep.objects)))
+	ep.buildComponents()
+}
+
+// buildComponents groups objects into connected components of destination-
+// line sharing: walking objects in destination order, an object joins the
+// current component iff its first line equals the previous object's last.
+func (ep *epochState) buildComponents() {
+	idx := make([]int, len(ep.objects))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ep.objects[idx[a]].dstHdr < ep.objects[idx[b]].dstHdr })
+	ep.compOf = make([]int32, len(ep.objects))
+	ep.components = ep.components[:0]
+	lastLine := uint64(^uint64(0))
+	for _, i := range idx {
+		o := &ep.objects[i]
+		first := o.dstHdr >> pmemLineShift
+		last := (o.dstHdr + o.bytes() - 1) >> pmemLineShift
+		if first != lastLine || len(ep.components) == 0 {
+			ep.components = append(ep.components, nil)
+		}
+		c := len(ep.components) - 1
+		ep.components[c] = append(ep.components[c], i)
+		ep.compOf[i] = int32(c)
+		lastLine = last
+	}
+}
+
+// clusterOf returns the indices of all objects in idx's destination-line
+// component (idx included).
+func (ep *epochState) clusterOf(idx int) []int {
+	return ep.components[ep.compOf[idx]]
+}
+
+// lookupSrc returns the destination payload offset for a source payload
+// offset using the minor-distance map, mirroring a PMFT walk.
+func (ep *epochState) lookupSrc(p *pmop.Pool, srcOff uint64) (uint64, bool) {
+	heap := p.Heap()
+	f, slot := heap.Locate(srcOff)
+	mm, ok := ep.minor[f]
+	if !ok || mm[slot] == minorInvalid {
+		return 0, false
+	}
+	df := ep.destFrame[f]
+	return heap.OffsetOf(df, int(mm[slot])), true
+}
+
+// findDestObject locates the relocation object whose destination range
+// contains the pool offset off.
+func (ep *epochState) findDestObject(p *pmop.Pool, off uint64) (int, bool) {
+	heap := p.Heap()
+	heapOff := heap.HeapOff()
+	if off < heapOff {
+		return 0, false
+	}
+	f := heap.FrameOf(off)
+	idx, ok := ep.destIndex[f]
+	if !ok {
+		return 0, false
+	}
+	// Binary search for the last object starting at or before off.
+	lo, hi := 0, len(idx)-1
+	found := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if ep.objects[idx[mid]].dstHdr <= off {
+			found = idx[mid]
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if found < 0 {
+		return 0, false
+	}
+	o := &ep.objects[found]
+	if off < o.dstHdr+o.bytes() {
+		return found, true
+	}
+	return 0, false
+}
+
+// pmftForwarder adapts the epoch's forwarding info to arch.Forwarder
+// (checklookup's functional backend). Addresses are this run's virtual
+// addresses.
+type pmftForwarder struct {
+	p  *pmop.Pool
+	ep *epochState
+}
+
+func (f *pmftForwarder) LookupAddr(_ *sim.Ctx, srcVA uint64) (uint64, bool) {
+	off := f.p.OffsetOfVA(srcVA)
+	dst, ok := f.ep.lookupSrc(f.p, off)
+	if !ok {
+		return 0, false
+	}
+	return f.p.VA(dst), true
+}

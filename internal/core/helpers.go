@@ -1,0 +1,13 @@
+package core
+
+import (
+	"ffccd/internal/arch"
+	"ffccd/internal/pmop"
+)
+
+// newRBBFor creates and wires a reached-bitmap buffer for a pool's device.
+func newRBBFor(p *pmop.Pool) *arch.RBB {
+	rbb := arch.NewRBB(p.Config(), p.Device())
+	p.Device().SetRBB(rbb)
+	return rbb
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"ffccd/internal/alloc"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// markObj is one reachable object found by the marking phase.
+type markObj struct {
+	payloadOff uint64
+	typeID     pmop.TypeID
+	payload    uint64
+}
+
+func (m *markObj) slots() int { return alloc.SlotsFor(m.payload) }
+
+// refVisitor lets a walk rewrite a pointer field. field is the pool offset of
+// the cell holding ref; the return value replaces ref both in the cell (when
+// changed) and as the traversal target.
+type refVisitor func(ctx *sim.Ctx, fieldOff uint64, ref pmop.Ptr) pmop.Ptr
+
+// mark runs reachability analysis from the pool root (§5 marking()): it
+// visits every reachable object, following pointer fields via the type
+// registry. The caller must have stopped the world (or be in single-threaded
+// recovery). If visit is non-nil it may redirect/rewrite each reference
+// before traversal — recovery's reference fixup and the finish phase's
+// reference updates run through it.
+//
+// Marking is idempotent (it only reads application memory unless visit
+// rewrites), matching §3.3.1.
+func (e *Engine) mark(ctx *sim.Ctx, visit refVisitor) []markObj {
+	p := e.pool
+	heap := p.Heap()
+	heapOff := heap.HeapOff()
+	heapEnd := heapOff + uint64(heap.Frames())*alloc.FrameSize
+
+	// Visited bitset, one bit per slot.
+	visited := make([]uint64, heap.Frames()*alloc.SlotsPerFrame/64+1)
+	seen := func(off uint64) bool {
+		slot := (off - heapOff) / alloc.SlotSize
+		w, b := slot/64, slot%64
+		if visited[w]&(1<<b) != 0 {
+			return true
+		}
+		visited[w] |= 1 << b
+		return false
+	}
+	inHeap := func(off uint64) bool {
+		return off >= heapOff+pmop.HeaderSize && off < heapEnd
+	}
+
+	var out []markObj
+	var stack []pmop.Ptr
+
+	// Root cell (pool header offset 16 — see pmop). Read raw: the barrier is
+	// either uninstalled (STW between epochs) or must not fire during
+	// recovery walks.
+	const rootCell = 16
+	root := pmop.Ptr(p.RawLoadU64(ctx, rootCell))
+	if visit != nil && !root.IsNull() {
+		if nr := visit(ctx, rootCell, root); nr != root {
+			p.RawStoreU64(ctx, rootCell, uint64(nr))
+			root = nr
+		}
+	}
+	if !root.IsNull() && root.PoolID() == p.ID() && inHeap(root.Offset()) {
+		stack = append(stack, root)
+	}
+
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		off := obj.Offset()
+		if seen(off) {
+			continue
+		}
+		typeID, payload := p.Header(ctx, obj)
+		ti, ok := p.Types().Lookup(typeID)
+		out = append(out, markObj{payloadOff: off, typeID: typeID, payload: payload})
+		if !ok {
+			// Unregistered type: treated as raw bytes (conservative — no
+			// references can hide in it because the programming model
+			// requires typed allocation for pointer-bearing objects).
+			continue
+		}
+		for _, fo := range ti.PointerOffsets(payload) {
+			fieldOff := off + fo
+			ref := pmop.Ptr(p.RawLoadU64(ctx, fieldOff))
+			if ref.IsNull() {
+				continue
+			}
+			if visit != nil {
+				if nr := visit(ctx, fieldOff, ref); nr != ref {
+					p.RawStoreU64(ctx, fieldOff, uint64(nr))
+					ref = nr
+				}
+			}
+			if ref.IsNull() || ref.PoolID() != p.ID() || !inHeap(ref.Offset()) {
+				continue
+			}
+			stack = append(stack, ref)
+		}
+	}
+	return out
+}
+
+// rebuildEntries converts marked objects to allocator rebuild entries.
+func rebuildEntries(live []markObj) []alloc.RebuildEntry {
+	out := make([]alloc.RebuildEntry, len(live))
+	for i, m := range live {
+		out[i] = alloc.RebuildEntry{Off: m.payloadOff - pmop.HeaderSize, Slots: m.slots()}
+	}
+	return out
+}

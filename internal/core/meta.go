@@ -1,0 +1,75 @@
+package core
+
+import (
+	"ffccd/internal/alloc"
+	"ffccd/internal/pmop"
+)
+
+// Persistent GC metadata layout inside the pool's reserved GC region:
+//
+//	reached bitmap : 8 bytes per heap frame (one bit per destination
+//	                 cacheline, maintained by the RBB — §4.2)
+//	moved bitmap   : 32 bytes per heap frame (one bit per slot; set at the
+//	                 object's start slot when its move completes)
+//	PMFT           : 264 bytes per heap frame (§4.3.1):
+//	                   u32 epoch   — entry valid iff equal to the current
+//	                                 defragmentation epoch
+//	                   u32 destFrame — the major distance (one destination
+//	                                 page per relocation page)
+//	                   256 × u8 minor-distance map — destination slot for
+//	                                 each 16-byte slot; 0xFF = not mapped
+//
+// All entries are persisted by the summary phase before compaction begins,
+// giving the deterministic relocation the paper requires ("whatever an
+// object relocation is performed by any component ... relocating an object
+// will always have the same outcome").
+const (
+	movedBytesPerFrame = alloc.SlotsPerFrame / 8 // 32
+	pmftEntrySize      = 8 + alloc.SlotsPerFrame // 264
+	minorInvalid       = 0xFF
+)
+
+// metaLayout returns the pool offsets of the three metadata arrays.
+func metaLayout(p *pmop.Pool) (reachedOff, movedOff, pmftOff uint64) {
+	base, _ := p.GCMetaRange()
+	_, frames := p.HeapRange()
+	reachedOff = base
+	movedOff = reachedOff + frames*8
+	pmftOff = movedOff + frames*movedBytesPerFrame
+	return
+}
+
+// pmftEntryOff returns the pool offset of frame f's PMFT entry.
+func pmftEntryOff(p *pmop.Pool, f int) uint64 {
+	_, _, pmftOff := metaLayout(p)
+	return pmftOff + uint64(f)*pmftEntrySize
+}
+
+// movedBitOff returns the byte offset and bit mask of the persistent moved
+// bit for the object starting at slot of frame f.
+func movedBitOff(p *pmop.Pool, f, slot int) (off uint64, mask byte) {
+	_, movedOff, _ := metaLayout(p)
+	return movedOff + uint64(f)*movedBytesPerFrame + uint64(slot/8), 1 << (slot % 8)
+}
+
+// Phase word packing (pool header's gcPhase field):
+// bits [0,8) state, [8,16) scheme, [16,48) epoch counter.
+const (
+	phaseIdle       = 0
+	phaseCompacting = 1
+)
+
+func packPhase(state uint64, scheme Scheme, epoch uint64) uint64 {
+	return state | uint64(scheme)<<8 | epoch<<16
+}
+
+func unpackPhase(w uint64) (state uint64, scheme Scheme, epoch uint64) {
+	return w & 0xFF, Scheme(w >> 8 & 0xFF), w >> 16
+}
+
+// sfccdTombstone is the sentinel written into a moved object's *source*
+// header (reserved word at +8) when the application first modifies the
+// destination copy under SFCCD. It lets Fig. 7(b)'s content comparison
+// distinguish "memcpy never persisted" from "application legitimately
+// modified the moved object" — see DESIGN.md §SFCCD clarification.
+const sfccdTombstone = 0x544F4D4253544F4E // "TOMBSTON"

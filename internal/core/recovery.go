@@ -1,0 +1,375 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/arch"
+	"ffccd/internal/pmem"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// Recover attaches an engine to a freshly (re)opened pool and restores full
+// consistency after a crash or clean shutdown:
+//
+//  1. Defragmentation object-state reconciliation per scheme — the paper's
+//     recovery() (Fig. 7b for SFCCD, Fig. 9b for FFCCD, moved-bitmap trust
+//     for Espresso), driven by the persistent PMFT.
+//  2. Application transaction rollback (offset-based undo, safe at any GC
+//     state).
+//  3. One reachability pass that simultaneously forwards references to moved
+//     objects and undoes references to never-reached destinations
+//     (Observation 3/4), and yields the live set.
+//  4. Allocator rebuild from the live set (leak reclamation included),
+//     relocation/destination reservations re-established.
+//  5. If an epoch was interrupted, it is resumed and completed before
+//     Recover returns, leaving the pool idle and compact.
+//
+// Recover is also the correct entry point for a clean reopen (it reduces to
+// tx rollback + allocator rebuild).
+func Recover(ctx *sim.Ctx, p *pmop.Pool, opt Options) (*Engine, error) {
+	e := NewEngine(p, opt)
+	if err := e.recover(ctx.WithCat(sim.CatRecovery)); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) recover(ctx *sim.Ctx) error {
+	p := e.pool
+	state, persistedScheme, epochNo := unpackPhase(p.GCPhase(ctx))
+
+	if state != phaseCompacting {
+		// Idle: application recovery + allocator rebuild only.
+		p.RecoverTx(ctx)
+		live := e.mark(ctx, nil)
+		p.Heap().RebuildFromMark(rebuildEntries(live))
+		return nil
+	}
+
+	// An epoch was interrupted. Reconstruct it from the persistent PMFT.
+	e.busy.Store(true)
+	defer e.busy.Store(false)
+
+	ep, err := e.loadEpoch(ctx, persistedScheme, epochNo)
+	if err != nil {
+		return err
+	}
+
+	// The interrupted scheme may need the relocate/RBB hardware even if the
+	// engine was reopened with a different configuration.
+	if ep.scheme.UsesRelocateInstruction() && e.rbb == nil {
+		e.rbb = newRBBFor(p)
+	}
+
+	// (1) Per-scheme object-state reconciliation.
+	switch ep.scheme {
+	case SchemeEspresso:
+		e.recoverEspresso(ctx, ep)
+	case SchemeSFCCD:
+		e.recoverSFCCD(ctx, ep)
+	case SchemeFFCCD, SchemeFFCCDCheckLookup:
+		e.recoverFFCCD(ctx, ep)
+	default:
+		return fmt.Errorf("core: cannot recover unknown scheme %d", ep.scheme)
+	}
+
+	// (2) Application transaction rollback (undo is pure offsets: safe
+	// before reference fixup, and it may resurrect stale references that
+	// step 3 then normalises).
+	p.RecoverTx(ctx)
+
+	// (3) Unified reference fixup + reachability:
+	//   - reference to the source of a moved object   → forward to dest
+	//   - reference to the dest of an unmoved object  → undo to source
+	heap := p.Heap()
+	live := e.mark(ctx, func(_ *sim.Ctx, _ uint64, ref pmop.Ptr) pmop.Ptr {
+		if ref.PoolID() != p.ID() || ref.Offset() < heap.HeapOff() {
+			return ref
+		}
+		off := ref.Offset()
+		if idx, ok := ep.bySrc[off]; ok && ep.isMoved(idx) {
+			return ref.WithOffset(ep.objects[idx].dstPayload())
+		}
+		if idx, ok := ep.byDst[off]; ok && !ep.isMoved(idx) {
+			return ref.WithOffset(ep.objects[idx].srcPayload())
+		}
+		return ref
+	})
+
+	// Recovery itself is conservative (§4.1): make everything durable.
+	p.Device().FlushAll(ctx)
+
+	// (4) Allocator rebuild + epoch reservations.
+	heap.RebuildFromMark(rebuildEntries(live))
+	for _, f := range ep.relocFrames {
+		heap.SetState(f, alloc.FrameRelocation)
+	}
+	ep.dupBytes = 0
+	for i := range ep.objects {
+		obj := &ep.objects[i]
+		if !ep.isMoved(i) {
+			// Reserve the destination so the allocator cannot take it
+			// before the object moves. (Moved objects are already live at
+			// their destination via the rebuild.)
+			df, ds := heap.Locate(obj.dstHdr)
+			if err := heap.PlaceAt(df, ds, obj.slots); err != nil {
+				return fmt.Errorf("core: recovery re-reservation: %w", err)
+			}
+			ep.dupBytes += obj.bytes()
+		}
+	}
+	heap.AddDup(ep.dupBytes)
+
+	// (5) Resume and complete the epoch.
+	if e.rbb != nil && ep.scheme.UsesRelocateInstruction() {
+		reachedOff, _, _ := metaLayout(p)
+		heapOff, frames := p.HeapRange()
+		e.rbb.Rearm(p.PA(reachedOff), p.PA(heapOff), frames)
+	}
+	e.mu.Lock()
+	e.epoch = ep
+	e.mu.Unlock()
+	p.SetBarrier(&readBarrier{e: e, ep: ep})
+	e.compact(ctx, ep)
+	e.finishEpoch(ctx, ep)
+	e.cycles.Add(1)
+	return nil
+}
+
+// loadEpoch rebuilds the volatile epoch state from the persistent PMFT
+// (whose deterministic destinations are exactly what make resumption
+// possible, §4.3.1).
+func (e *Engine) loadEpoch(ctx *sim.Ctx, scheme Scheme, epochNo uint64) (*epochState, error) {
+	p := e.pool
+	heap := p.Heap()
+	ep := &epochState{
+		epochNo:   epochNo,
+		scheme:    scheme,
+		minor:     make(map[int]*[alloc.SlotsPerFrame]byte),
+		destFrame: make(map[int]int),
+	}
+	destSeen := make(map[int]bool)
+	entry := make([]byte, pmftEntrySize)
+	for f := 0; f < heap.Frames(); f++ {
+		p.RawLoad(ctx, pmftEntryOff(p, f), entry)
+		if uint64(binary.LittleEndian.Uint32(entry[0:4])) != epochNo {
+			continue
+		}
+		df := int(binary.LittleEndian.Uint32(entry[4:8]))
+		var mm [alloc.SlotsPerFrame]byte
+		copy(mm[:], entry[8:])
+		ep.minor[f] = &mm
+		ep.destFrame[f] = df
+		ep.relocFrames = append(ep.relocFrames, f)
+		if !destSeen[df] {
+			destSeen[df] = true
+			ep.destFrames = append(ep.destFrames, df)
+		}
+
+		// Reconstruct object boundaries: headers in the relocation page are
+		// authoritative (persisted at allocation, never modified by a move;
+		// SFCCD's tombstone only touches the reserved word).
+		for s := 0; s < alloc.SlotsPerFrame; {
+			if mm[s] == minorInvalid {
+				s++
+				continue
+			}
+			srcHdr := heap.OffsetOf(f, s)
+			var hb [8]byte
+			p.RawLoad(ctx, srcHdr, hb[:])
+			payload := uint64(binary.LittleEndian.Uint32(hb[4:8]))
+			n := alloc.SlotsFor(payload)
+			if n < 1 || s+n > alloc.SlotsPerFrame {
+				return nil, fmt.Errorf("core: corrupt header in relocation frame %d slot %d", f, s)
+			}
+			ep.objects = append(ep.objects, relocObj{
+				srcHdr:  srcHdr,
+				dstHdr:  heap.OffsetOf(df, int(mm[s])),
+				slots:   n,
+				payload: payload,
+			})
+			s += n
+		}
+	}
+	ep.buildIndexes(p)
+
+	// Rebuild the bloom filters over the relocation pages.
+	var relocVAs []uint64
+	for _, f := range ep.relocFrames {
+		relocVAs = append(relocVAs, p.VA(heap.OffsetOf(f, 0)))
+	}
+	ep.blooms = arch.NewBloomSetFromPages(relocVAs, e.cfg.BloomFilters, e.cfg.BloomFilterBytes)
+	ep.fwd = &pmftForwarder{p: p, ep: ep}
+	return ep, nil
+}
+
+// recoverEspresso trusts the persistent moved bitmap: the double persist
+// barrier guarantees a set bit implies a fully persisted copy.
+func (e *Engine) recoverEspresso(ctx *sim.Ctx, ep *epochState) {
+	for i := range ep.objects {
+		if e.loadMovedBit(ctx, &ep.objects[i]) {
+			ep.setMoved(i)
+			ep.pending.Add(-1)
+		}
+	}
+}
+
+// recoverSFCCD implements Fig. 7b with the tombstone disambiguation: for
+// every object whose moved bit persisted, compare destination and source
+// content; a mismatch without an application tombstone means the memcpy did
+// not (fully) persist, so it is repeated and persisted.
+func (e *Engine) recoverSFCCD(ctx *sim.Ctx, ep *epochState) {
+	p := e.pool
+	for i := range ep.objects {
+		obj := &ep.objects[i]
+		if !e.loadMovedBit(ctx, obj) {
+			continue // will be (re)moved after resume — Observation 1
+		}
+		tomb := p.RawLoadU64(ctx, obj.srcHdr+8) == sfccdTombstone
+		if !tomb && !e.rangesEqual(ctx, obj.srcHdr, obj.dstHdr, obj.bytes()) {
+			e.copyObject(ctx, obj.srcHdr, obj.dstHdr, obj.bytes())
+			p.PersistRange(ctx, obj.dstHdr, obj.bytes())
+		}
+		ep.setMoved(i)
+		ep.pending.Add(-1)
+	}
+}
+
+// recoverFFCCD implements Fig. 9b using the reached bitmap, at the
+// granularity of destination-line components (the unit the compactor moves
+// atomically): a component none of whose destination lines reached the
+// persistence domain is left unmoved — its reference updates are reverted by
+// the fixup pass (Observation 3). A component with any reached line is
+// finished: every member's bytes on lines that did not reach are re-copied
+// from the (still pristine) source, because a reached line may hold newer
+// application data while an unreached one holds nothing (Observation 4).
+// Classification uses a pre-repair snapshot of the bitmap so repairs cannot
+// influence decisions for line-sharing neighbours, and whole components
+// finish or revert together so moved-state never diverges within a
+// component across repeated crashes.
+func (e *Engine) recoverFFCCD(ctx *sim.Ctx, ep *epochState) {
+	p := e.pool
+	heap := p.Heap()
+	reachedOff, _, _ := metaLayout(p)
+	heapOff := heap.HeapOff()
+
+	// Snapshot the reached bitmap before any repair.
+	snapshot := make(map[int]uint64)
+	for i := range ep.objects {
+		df := heap.FrameOf(ep.objects[i].dstHdr)
+		if _, ok := snapshot[df]; !ok {
+			snapshot[df] = p.RawLoadU64(ctx, reachedOff+uint64(df)*8)
+		}
+	}
+	lineRange := func(obj *relocObj) (df int, first, last uint64) {
+		df = heap.FrameOf(obj.dstHdr)
+		first = (obj.dstHdr - heapOff) % alloc.FrameSize >> pmem.LineShift
+		last = (obj.dstHdr + obj.bytes() - 1 - heapOff) % alloc.FrameSize >> pmem.LineShift
+		return
+	}
+
+	for _, comp := range ep.components {
+		reached := 0
+		for _, ci := range comp {
+			df, first, last := lineRange(&ep.objects[ci])
+			for l := first; l <= last; l++ {
+				if snapshot[df]&(1<<l) != 0 {
+					reached++
+				}
+			}
+		}
+		if reached == 0 {
+			// Never reached: the component stays unmoved; clear any moved
+			// bits that leaked to PM through eviction.
+			for _, ci := range comp {
+				e.clearMovedBit(ctx, &ep.objects[ci])
+			}
+			continue
+		}
+		// Finish the whole component: copy every member's bytes on lines
+		// that did not reach, persist, and mark moved.
+		for _, ci := range comp {
+			obj := &ep.objects[ci]
+			df, first, last := lineRange(obj)
+			word := snapshot[df]
+			start := obj.dstHdr
+			end := obj.dstHdr + obj.bytes()
+			lineBase := heapOff + uint64(df)*alloc.FrameSize
+			for l := first; l <= last; l++ {
+				if word&(1<<l) != 0 {
+					continue
+				}
+				ds := lineBase + l<<pmem.LineShift
+				de := ds + pmem.LineSize
+				if ds < start {
+					ds = start
+				}
+				if de > end {
+					de = end
+				}
+				ss := obj.srcHdr + (ds - start)
+				e.copyObject(ctx, ss, ds, de-ds)
+			}
+			p.PersistRange(ctx, obj.dstHdr, obj.bytes())
+			newWord := p.RawLoadU64(ctx, reachedOff+uint64(df)*8)
+			for l := first; l <= last; l++ {
+				newWord |= 1 << l
+			}
+			p.RawStoreU64(ctx, reachedOff+uint64(df)*8, newWord)
+			p.PersistRange(ctx, reachedOff+uint64(df)*8, 8)
+			e.setMovedBitDurable(ctx, obj)
+			if ep.setMoved(ci) {
+				ep.pending.Add(-1)
+			}
+		}
+	}
+}
+
+// rangesEqual compares n bytes at two pool offsets.
+func (e *Engine) rangesEqual(ctx *sim.Ctx, a, b, n uint64) bool {
+	p := e.pool
+	var ba, bb [pmem.LineSize]byte
+	for done := uint64(0); done < n; {
+		step := uint64(pmem.LineSize)
+		if n-done < step {
+			step = n - done
+		}
+		p.RawLoad(ctx, a+done, ba[:step])
+		p.RawLoad(ctx, b+done, bb[:step])
+		for i := uint64(0); i < step; i++ {
+			if ba[i] != bb[i] {
+				return false
+			}
+		}
+		done += step
+	}
+	return true
+}
+
+func (e *Engine) loadMovedBit(ctx *sim.Ctx, obj *relocObj) bool {
+	p := e.pool
+	f, slot := p.Heap().Locate(obj.srcHdr)
+	off, mask := movedBitOff(p, f, slot)
+	var b [1]byte
+	p.RawLoad(ctx, off, b[:])
+	return b[0]&mask != 0
+}
+
+func (e *Engine) clearMovedBit(ctx *sim.Ctx, obj *relocObj) {
+	p := e.pool
+	f, slot := p.Heap().Locate(obj.srcHdr)
+	off, mask := movedBitOff(p, f, slot)
+	var b [1]byte
+	p.RawLoad(ctx, off, b[:])
+	b[0] &^= mask
+	p.RawStore(ctx, off, b[:])
+	p.Clwb(ctx, off)
+	p.Sfence(ctx)
+}
+
+func (e *Engine) setMovedBitDurable(ctx *sim.Ctx, obj *relocObj) {
+	e.storeMovedBit(ctx, obj, true, true)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync"
+
+	"ffccd/internal/sim"
+)
+
+// stwState tracks pause lengths for the stop-the-world comparator.
+type stwState struct {
+	mu     sync.Mutex
+	pauses []uint64
+}
+
+// RunCycleSTW performs one complete stop-the-world defragmentation cycle —
+// the jemalloc-style comparator of §7.4: marking, summary, every relocation,
+// and the reference fixup all happen inside a single application pause, so
+// no read barrier is ever installed. Object moves still follow the engine's
+// scheme for persistence (use SchemeEspresso for the paper's comparison).
+// Returns the pause length in simulated cycles and whether a cycle ran.
+func (e *Engine) RunCycleSTW(ctx *sim.Ctx) (uint64, bool) {
+	if e.opt.Scheme == SchemeNone {
+		return 0, false
+	}
+	if !e.busy.CompareAndSwap(false, true) {
+		return 0, false
+	}
+	defer e.busy.Store(false)
+
+	p := e.pool
+	p.StopWorld()
+	defer p.ResumeWorld()
+	start := ctx.Clock.Total()
+
+	live := e.mark(ctx.WithCat(sim.CatMark), nil)
+	ep := e.summary(ctx.WithCat(sim.CatSummary), live)
+	if ep == nil {
+		return ctx.Clock.Total() - start, false
+	}
+	e.mu.Lock()
+	e.epoch = ep
+	e.mu.Unlock()
+
+	for i := range ep.objects {
+		if !ep.isMoved(i) {
+			e.relocateObject(ctx.WithCat(sim.CatCopy), ep, i, false)
+		}
+	}
+	e.finishEpochLocked(ctx, ep)
+	e.cycles.Add(1)
+
+	pause := ctx.Clock.Total() - start
+	e.stw.mu.Lock()
+	e.stw.pauses = append(e.stw.pauses, pause)
+	e.stw.mu.Unlock()
+	return pause, true
+}
+
+// STWPauses returns the recorded stop-the-world pause lengths (cycles).
+func (e *Engine) STWPauses() []uint64 {
+	e.stw.mu.Lock()
+	defer e.stw.mu.Unlock()
+	out := make([]uint64, len(e.stw.pauses))
+	copy(out, e.stw.pauses)
+	return out
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/arch"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// maxRelocOccupancy: frames more than ~90% full are never worth evacuating.
+const maxRelocOccupancy = 230
+
+// summary implements §5 summary(): resync the allocator to the marking
+// results (reclaiming leaks), rank frames by fragmentation, select the top-k
+// relocation frames needed to reach the target ratio, deterministically
+// assign every live object a destination, build and persist the PMFT, build
+// the relocation-page bloom filters, arm the reached bitmap, and durably
+// enter the compacting phase. Runs stop-the-world; idempotent until the
+// final phase-word store.
+func (e *Engine) summary(ctx *sim.Ctx, live []markObj) *epochState {
+	p := e.pool
+	heap := p.Heap()
+
+	// Leak reclamation: everything not reached by marking is returned to the
+	// free lists (§5: "The unreachable objects are returned to the freelist").
+	allocatedBefore := 0
+	for _, fi := range heap.Snapshot() {
+		allocatedBefore += fi.Objects
+	}
+	heap.RebuildFromMark(rebuildEntries(live))
+	if leaked := allocatedBefore - len(live); leaked > 0 {
+		e.leaksReclaimed.Add(uint64(leaked))
+	}
+
+	frag := heap.Frag(p.PageShift())
+	if frag.LiveBytes == 0 || frag.FragRatio <= e.opt.TargetRatio {
+		return nil
+	}
+
+	// Group live objects by their frame, sorted by offset within the frame.
+	objsByFrame := make(map[int][]markObj)
+	for _, m := range live {
+		f := heap.FrameOf(m.payloadOff - pmop.HeaderSize)
+		objsByFrame[f] = append(objsByFrame[f], m)
+	}
+	for f := range objsByFrame {
+		objs := objsByFrame[f]
+		sort.Slice(objs, func(a, b int) bool { return objs[a].payloadOff < objs[b].payloadOff })
+	}
+
+	// Destination packing is dense (16-byte slots, the paper's granularity).
+	// Objects may share destination cachelines; every set of objects whose
+	// destination lines overlap forms a *cluster* that the compactor
+	// relocates as one operation whose destination lines are each written
+	// atomically (pmem.RelocateParts). That preserves the invariant the
+	// per-line reached bitmap needs during fence-free recovery — a reached
+	// line carries consistent bytes for all its tenants (Observation 4) —
+	// without any placement alignment tax.
+	groupNeed := func(objs []markObj) int {
+		total := 0
+		for _, m := range objs {
+			total += m.slots()
+		}
+		return total
+	}
+
+	// Candidate relocation frames: most fragmented (lowest occupancy) first.
+	snap := heap.Snapshot()
+	byFrame := make(map[int]alloc.FrameInfo, len(snap))
+	for _, fi := range snap {
+		byFrame[fi.Frame] = fi
+	}
+	isCandidate := func(fi alloc.FrameInfo) bool {
+		return fi.State == alloc.FrameActive && fi.Objects > 0 && fi.UsedSlots <= maxRelocOccupancy
+	}
+
+	// Selection units: on 4 KB pages each frame is a unit; on huge pages a
+	// unit is a whole OS-page group of frames, eligible only when *every*
+	// used frame in the group can be evacuated — scattered single-frame
+	// releases never vacate a huge page, so footprint would not move
+	// (§1: "the large capacity provided by PM necessitates the use of huge
+	// pages").
+	fpp := 1
+	if p.PageShift() > 12 {
+		fpp = 1 << (p.PageShift() - 12)
+	}
+	var units [][]alloc.FrameInfo
+	if fpp == 1 {
+		for _, fi := range snap {
+			if isCandidate(fi) {
+				units = append(units, []alloc.FrameInfo{fi})
+			}
+		}
+	} else {
+		for g := 0; g < heap.Frames(); g += fpp {
+			var unit []alloc.FrameInfo
+			ok := true
+			for f := g; f < g+fpp && f < heap.Frames(); f++ {
+				fi, used := byFrame[f]
+				if !used {
+					continue
+				}
+				if !isCandidate(fi) {
+					ok = false
+					break
+				}
+				unit = append(unit, fi)
+			}
+			if ok && len(unit) > 0 {
+				units = append(units, unit)
+			}
+		}
+	}
+	unitUsed := func(u []alloc.FrameInfo) int {
+		t := 0
+		for _, fi := range u {
+			t += fi.UsedSlots
+		}
+		return t
+	}
+	sort.Slice(units, func(a, b int) bool {
+		ua, ub := unitUsed(units[a]), unitUsed(units[b])
+		if ua != ub {
+			return ua < ub
+		}
+		return units[a][0].Frame < units[b][0].Frame
+	})
+
+	// Greedy selection until the projected ratio reaches the target. Each
+	// relocation frame's live data lands in exactly one destination frame
+	// (the PMFT major-distance invariant); destination frames are fresh
+	// free frames packed in order. Frames whose live data exceeds one
+	// destination frame cannot be evacuated under that invariant, which
+	// disqualifies their whole unit.
+	type pick struct {
+		fi   alloc.FrameInfo
+		need int
+	}
+	maxDest := heap.Frames()
+	freeList := heap.FreeFrames(maxDest)
+	destPages := func(n int) uint64 {
+		// Footprint the first n destination frames add, in OS pages.
+		seen := map[int]bool{}
+		for _, f := range freeList[:n] {
+			seen[f/fpp] = true
+		}
+		return uint64(len(seen)) << p.PageShift()
+	}
+	var selected []pick
+	destUsed, curFree := 0, 0
+	var freedBytes uint64
+	type gainPoint struct {
+		selected int
+		netGain  int64
+	}
+	var gains []gainPoint
+	projected := func() float64 {
+		fp := int64(frag.FootprintBytes) - int64(freedBytes) + int64(destPages(destUsed))
+		return float64(fp) / float64(frag.LiveBytes)
+	}
+unitLoop:
+	for _, unit := range units {
+		if projected() <= e.opt.TargetRatio {
+			break
+		}
+		var needs []int
+		for _, fi := range unit {
+			need := groupNeed(objsByFrame[fi.Frame])
+			if need > alloc.SlotsPerFrame {
+				continue unitLoop
+			}
+			needs = append(needs, need)
+		}
+		for i, fi := range unit {
+			if curFree < needs[i] {
+				if destUsed >= len(freeList) {
+					break unitLoop
+				}
+				destUsed++
+				curFree = alloc.SlotsPerFrame
+			}
+			curFree -= needs[i]
+			selected = append(selected, pick{fi, needs[i]})
+		}
+		freedBytes += uint64(1) << p.PageShift()
+		if fpp == 1 {
+			// 4 KB accounting: one page per frame.
+		}
+		gains = append(gains, gainPoint{len(selected), int64(freedBytes) - int64(destPages(destUsed))})
+	}
+	// Trim to the prefix (of whole units) with the best net footprint gain:
+	// evacuating units that are already as dense as packing allows would
+	// move data without freeing anything.
+	var best int64
+	bestAt := 0
+	for _, g := range gains {
+		if g.netGain > best {
+			best, bestAt = g.netGain, g.selected
+		}
+	}
+	if best <= 0 {
+		return nil
+	}
+	selected = selected[:bestAt]
+
+	_, _, epochNo := unpackPhase(p.GCPhase(ctx))
+	ep := &epochState{
+		epochNo:   epochNo + 1,
+		scheme:    e.opt.Scheme,
+		minor:     make(map[int]*[alloc.SlotsPerFrame]byte),
+		destFrame: make(map[int]int),
+	}
+
+	// Deterministic placement + persistent PMFT construction.
+	_, movedOff, _ := metaLayout(p)
+	di := -1
+	curSlot := 0
+	for _, sel := range selected {
+		c := sel.fi
+		if di < 0 || curSlot+sel.need > alloc.SlotsPerFrame {
+			di++
+			curSlot = 0
+		}
+		df := freeList[di]
+		var mm [alloc.SlotsPerFrame]byte
+		for i := range mm {
+			mm[i] = minorInvalid
+		}
+		for _, m := range objsByFrame[c.Frame] {
+			n := m.slots()
+			start := curSlot
+			curSlot += n
+			if err := heap.PlaceAt(df, start, n); err != nil {
+				// Cannot happen with fresh destination frames; fail loudly.
+				panic("core: destination placement failed: " + err.Error())
+			}
+			_, srcSlot := heap.Locate(m.payloadOff - pmop.HeaderSize)
+			for i := 0; i < n; i++ {
+				mm[srcSlot+i] = byte(start + i)
+			}
+			ep.objects = append(ep.objects, relocObj{
+				srcHdr:  m.payloadOff - pmop.HeaderSize,
+				dstHdr:  heap.OffsetOf(df, start),
+				slots:   n,
+				payload: m.payload,
+			})
+		}
+		mcopy := mm
+		ep.minor[c.Frame] = &mcopy
+		ep.destFrame[c.Frame] = df
+		ep.relocFrames = append(ep.relocFrames, c.Frame)
+		heap.SetState(c.Frame, alloc.FrameRelocation)
+
+		// Persist the PMFT entry (§4.3.1) and clear the frame's moved bitmap.
+		buf := make([]byte, pmftEntrySize)
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(ep.epochNo))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(df))
+		copy(buf[8:], mm[:])
+		entryOff := pmftEntryOff(p, c.Frame)
+		p.RawStore(ctx, entryOff, buf)
+		p.PersistRange(ctx, entryOff, pmftEntrySize)
+		zeros := make([]byte, movedBytesPerFrame)
+		mOff := movedOff + uint64(c.Frame)*movedBytesPerFrame
+		p.RawStore(ctx, mOff, zeros)
+		p.PersistRange(ctx, mOff, movedBytesPerFrame)
+	}
+	ep.destFrames = append(ep.destFrames, freeList[:di+1]...)
+	ep.buildIndexes(p)
+
+	// The epoch holds two copies of every relocation object until the
+	// source frames are released; keep the live-data metric single-copy.
+	for i := range ep.objects {
+		ep.dupBytes += ep.objects[i].bytes()
+	}
+	heap.AddDup(ep.dupBytes)
+
+	// Relocation-page bloom filters (§4.3.2) — tight ranges over the
+	// relocation pages so non-relocation addresses fail the range compare.
+	var relocVAs []uint64
+	for _, f := range ep.relocFrames {
+		relocVAs = append(relocVAs, p.VA(heap.OffsetOf(f, 0)))
+	}
+	ep.blooms = arch.NewBloomSetFromPages(relocVAs, e.cfg.BloomFilters, e.cfg.BloomFilterBytes)
+	ep.fwd = &pmftForwarder{p: p, ep: ep}
+	heapOff, frames := p.HeapRange()
+
+	// Arm the reached bitmap for the fence-free schemes (§4.2).
+	if e.rbb != nil {
+		reachedOff, _, _ := metaLayout(p)
+		e.rbb.Configure(p.PA(reachedOff), p.PA(heapOff), frames)
+	}
+
+	// Durably enter the compacting phase. Everything above is idempotent;
+	// a crash before this store leaves the pool in the idle state.
+	p.SetGCPhase(ctx, packPhase(phaseCompacting, e.opt.Scheme, ep.epochNo))
+	return ep
+}

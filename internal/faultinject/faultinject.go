@@ -1,0 +1,274 @@
+// Package faultinject reproduces the paper's crash-consistency validation
+// (§7.1): crashes are injected at arbitrary points of the concurrent
+// compacting phase, the per-scheme recovery runs, and a two-step checker
+// validates (1) program data — readability, values, absence of dangling
+// pointers, structure topology — and (2) agreement between defragmentation
+// metadata and the memory state. The paper's 26 settings (five single-
+// threaded microbenchmarks plus BzTree/FPTree at 1, 2, 4, 8 threads, each
+// under SFCCD and FFCCD) are enumerated by AllSettings.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ffccd/internal/checker"
+	"ffccd/internal/core"
+	"ffccd/internal/ds"
+	"ffccd/internal/pmem"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// Setting is one validation configuration.
+type Setting struct {
+	Store   string
+	Threads int
+	Scheme  core.Scheme
+}
+
+func (s Setting) String() string {
+	return fmt.Sprintf("%s/%dT/%s", s.Store, s.Threads, s.Scheme)
+}
+
+// MicroStores are the five single-threaded microbenchmarks.
+var MicroStores = []string{"LL", "AVL", "SS", "BT", "RBT"}
+
+// ConcurrentStores are the concurrent PM data structures.
+var ConcurrentStores = []string{"BzTree", "FPTree"}
+
+// AllSettings enumerates the paper's 26 settings.
+func AllSettings() []Setting {
+	var out []Setting
+	for _, scheme := range []core.Scheme{core.SchemeSFCCD, core.SchemeFFCCD} {
+		for _, st := range MicroStores {
+			out = append(out, Setting{st, 1, scheme})
+		}
+		for _, st := range ConcurrentStores {
+			for _, th := range []int{1, 2, 4, 8} {
+				out = append(out, Setting{st, th, scheme})
+			}
+		}
+	}
+	return out
+}
+
+// buildStore constructs a named store over p.
+func buildStore(ctx *sim.Ctx, p *pmop.Pool, name string) (ds.Store, error) {
+	switch name {
+	case "LL":
+		return ds.NewList(ctx, p)
+	case "AVL":
+		return ds.NewAVL(ctx, p)
+	case "SS":
+		return ds.NewStringStore(ctx, p, 1024)
+	case "BT":
+		return ds.NewBPTree(ctx, p)
+	case "RBT":
+		return ds.NewRBTree(ctx, p)
+	case "BzTree":
+		return ds.NewBzTree(ctx, p)
+	case "FPTree":
+		return ds.NewFPTree(ctx, p)
+	}
+	return nil, fmt.Errorf("faultinject: unknown store %q", name)
+}
+
+// keyCapFor bounds the key space for slot-addressed stores.
+func keyCapFor(name string) uint64 {
+	if name == "SS" {
+		return 1024
+	}
+	return 1 << 30
+}
+
+// Trial runs one fault-injection trial and returns an error describing the
+// first consistency violation, or nil.
+func Trial(setting Setting, seed int64) error {
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = 256 * 1024
+	rt := pmop.NewRuntime(&cfg, 128<<20)
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	p, err := rt.Create("fi", 64<<20, 12, reg)
+	if err != nil {
+		return err
+	}
+	ctx := sim.NewCtx(&cfg)
+	s, err := buildStore(ctx, p, setting.Store)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Build a fragmented store with per-thread key ranges. Each thread owns
+	// a disjoint range and a persistent thread-local model spanning both
+	// churn sessions, so deletes in the second session are reflected.
+	models := make([]map[uint64][]byte, setting.Threads)
+	for i := range models {
+		models[i] = make(map[uint64][]byte)
+	}
+	churn := func(c *sim.Ctx, tid, ops int, r *rand.Rand) error {
+		local := models[tid]
+		base := uint64(tid) << 20
+		keyCap := keyCapFor(setting.Store)
+		for i := 0; i < ops; i++ {
+			key := base + r.Uint64()%300
+			if key >= keyCap {
+				key = key % keyCap
+			}
+			switch r.Intn(10) {
+			case 0, 1, 2, 3, 4, 5:
+				v := make([]byte, 16+r.Intn(113))
+				for j := range v {
+					v[j] = byte(key) ^ byte(j) ^ byte(i)
+				}
+				if err := s.Insert(c, key, v); err != nil {
+					return err
+				}
+				local[key] = v
+			case 6, 7:
+				if _, err := s.Delete(c, key); err != nil {
+					return err
+				}
+				delete(local, key)
+			default:
+				s.Get(c, key)
+			}
+		}
+		return nil
+	}
+
+	// Single-threaded ranges must not overlap when threads > 1: each thread
+	// owns its base. SS is slot-addressed, so it stays single-threaded in
+	// AllSettings (a micro store).
+	var wg sync.WaitGroup
+	errs := make(chan error, setting.Threads)
+	for t := 0; t < setting.Threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			c := sim.NewCtx(&cfg)
+			errs <- churn(c, tid, 600, rand.New(rand.NewSource(seed+int64(tid)+1)))
+		}(t)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	p.Device().FlushAll(ctx)
+
+	// Start a defragmentation epoch and advance it a random amount.
+	opt := core.DefaultOptions()
+	opt.Scheme = setting.Scheme
+	opt.TriggerRatio = 1.01
+	opt.TargetRatio = 1.05
+	e := core.NewEngine(p, opt)
+	if !e.BeginCycle(ctx) {
+		// Not fragmented enough this time; that is a (trivially) passing
+		// trial — nothing to crash into.
+		e.Close()
+		return nil
+	}
+	steps := rng.Intn(400)
+	e.StepCompaction(ctx, steps)
+
+	// Concurrent application traffic through the read barrier, then stop.
+	var wg2 sync.WaitGroup
+	errs2 := make(chan error, setting.Threads)
+	for t := 0; t < setting.Threads; t++ {
+		wg2.Add(1)
+		go func(tid int) {
+			defer wg2.Done()
+			c := sim.NewCtx(&cfg)
+			errs2 <- churn(c, tid, 60, rand.New(rand.NewSource(seed^0x5a5a+int64(tid))))
+		}(t)
+	}
+	wg2.Wait()
+	close(errs2)
+	for e2 := range errs2 {
+		if e2 != nil {
+			return e2
+		}
+	}
+
+	// Crash with a randomly chosen persistence outcome for unfenced lines.
+	switch rng.Intn(3) {
+	case 0:
+		p.Device().SetCrashPolicy(pmem.DropAllInflight)
+	case 1:
+		p.Device().SetCrashPolicy(pmem.KeepAllInflight)
+	default:
+		salt := rng.Uint64()
+		p.Device().SetCrashPolicy(func(line uint64) bool {
+			return (line*0x9E3779B97F4A7C15+salt)&1 == 0
+		})
+	}
+	p.Device().Crash()
+	if e.RBB() != nil {
+		e.RBB().PowerLossFlush()
+	}
+
+	// Restart: attach, open, recover (completes the epoch).
+	rt2, err := pmop.Attach(&cfg, rt.Device())
+	if err != nil {
+		return err
+	}
+	reg2 := pmop.NewRegistry()
+	ds.RegisterTypes(reg2)
+	p2, err := rt2.Open("fi", reg2)
+	if err != nil {
+		return err
+	}
+	e2, err := core.Recover(ctx, p2, opt)
+	if err != nil {
+		return fmt.Errorf("recovery failed: %w", err)
+	}
+	defer e2.Close()
+
+	s2, err := buildStore(ctx, p2, setting.Store)
+	if err != nil {
+		return err
+	}
+	model := make(map[uint64][]byte)
+	for _, m := range models {
+		for k, v := range m {
+			model[k] = v
+		}
+	}
+
+	// Checker step 1: program-data consistency against the model.
+	if err := checker.CheckStore(ctx, s2, model); err != nil {
+		return fmt.Errorf("checker step 1 (%s): %w", setting, err)
+	}
+	// Checker step 2: GC metadata vs memory state.
+	if _, err := checker.CheckGraph(ctx, p2); err != nil {
+		return fmt.Errorf("checker step 2 (%s): %w", setting, err)
+	}
+	return nil
+}
+
+// Outcome summarises a campaign over one setting.
+type Outcome struct {
+	Setting  Setting
+	Trials   int
+	Passed   int
+	Failures []string
+}
+
+// RunSetting executes trials fault-injection trials for one setting.
+func RunSetting(setting Setting, trials int, seed int64) Outcome {
+	out := Outcome{Setting: setting, Trials: trials}
+	for i := 0; i < trials; i++ {
+		if err := Trial(setting, seed+int64(i)*7919); err != nil {
+			out.Failures = append(out.Failures, err.Error())
+		} else {
+			out.Passed++
+		}
+	}
+	return out
+}

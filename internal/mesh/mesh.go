@@ -1,0 +1,162 @@
+// Package mesh implements the Mesh comparator (Powers et al., PLDI'19) used
+// in the paper's Redis case study (§7.4): physical-memory compaction without
+// reference updates. Two virtual pages whose live objects occupy disjoint
+// page offsets are "meshed" — their objects are merged onto one physical
+// page and the other virtual page is remapped to it, freeing a physical
+// page while every virtual address (and therefore every reference) stays
+// valid.
+//
+// Faithfulness notes: Mesh's randomized allocation and span machinery are
+// out of scope; we mesh the pool's 4 KB frames greedily. The virtual→
+// physical mapping is maintained in pmop.Pool's frame remap (the analogue of
+// Mesh's mprotect/page-table surgery) and is volatile — the comparator runs
+// in the non-crash Redis experiment, matching how the paper uses it.
+package mesh
+
+import (
+	"sync"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// Defragmenter meshes offset-disjoint frames of one pool.
+type Defragmenter struct {
+	p *pmop.Pool
+
+	mu     sync.Mutex
+	remap  []uint32 // virtual frame → physical frame
+	meshed int      // physical frames released by meshing
+
+	// MeshesPerformed counts successful pairings.
+	MeshesPerformed int
+}
+
+// New creates a defragmenter with an identity mapping.
+func New(p *pmop.Pool) *Defragmenter {
+	_, frames := p.HeapRange()
+	remap := make([]uint32, frames)
+	for i := range remap {
+		remap[i] = uint32(i)
+	}
+	d := &Defragmenter{p: p, remap: remap}
+	p.SetFrameRemap(remap)
+	return d
+}
+
+// MeshedFrames returns how many physical frames meshing has released.
+func (d *Defragmenter) MeshedFrames() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.meshed
+}
+
+// PhysFrag returns fragmentation statistics based on *physical* footprint:
+// the allocator's footprint minus the frames meshing released.
+func (d *Defragmenter) PhysFrag(pageShift uint) alloc.FragStats {
+	st := d.p.Heap().Frag(pageShift)
+	d.mu.Lock()
+	saved := uint64(d.meshed) * alloc.FrameSize
+	d.mu.Unlock()
+	if st.FootprintBytes > saved {
+		st.FootprintBytes -= saved
+	}
+	if st.LiveBytes > 0 {
+		st.FragRatio = float64(st.FootprintBytes) / float64(st.LiveBytes)
+	}
+	return st
+}
+
+// RunCycle performs one meshing pass under stop-the-world: it pairs
+// offset-disjoint, identity-mapped, lightly occupied frames, copies each
+// pair onto one physical frame, and updates the virtual mapping. Returns the
+// number of physical frames released.
+func (d *Defragmenter) RunCycle(ctx *sim.Ctx) int {
+	p := d.p
+	heap := p.Heap()
+	p.StopWorld()
+	defer p.ResumeWorld()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Candidates: active frames, identity-mapped, at most half full.
+	type cand struct {
+		frame int
+		bits  [4]uint64
+		used  int
+	}
+	var cands []cand
+	for _, fi := range heap.Snapshot() {
+		if fi.State != alloc.FrameActive || fi.UsedSlots == 0 || fi.UsedSlots > alloc.SlotsPerFrame/2 {
+			continue
+		}
+		if d.remap[fi.Frame] != uint32(fi.Frame) {
+			continue
+		}
+		cands = append(cands, cand{fi.Frame, heap.FrameBitmap(fi.Frame), fi.UsedSlots})
+	}
+
+	released := 0
+	usedAsTarget := make(map[int]bool)
+	for i := 0; i < len(cands); i++ {
+		if usedAsTarget[cands[i].frame] {
+			continue
+		}
+		for j := i + 1; j < len(cands); j++ {
+			if usedAsTarget[cands[j].frame] {
+				continue
+			}
+			disjoint := true
+			for w := 0; w < 4; w++ {
+				if cands[i].bits[w]&cands[j].bits[w] != 0 {
+					disjoint = false
+					break
+				}
+			}
+			if !disjoint {
+				continue
+			}
+			d.meshPair(ctx, cands[i].frame, cands[j].frame, cands[j].bits)
+			usedAsTarget[cands[i].frame] = true
+			usedAsTarget[cands[j].frame] = true
+			released++
+			break
+		}
+	}
+	if released > 0 {
+		d.meshed += released
+		d.MeshesPerformed += released
+		// Publish the updated mapping.
+		m := make([]uint32, len(d.remap))
+		copy(m, d.remap)
+		p.SetFrameRemap(m)
+	}
+	return released
+}
+
+// meshPair copies src's occupied slots onto dst's physical frame (same page
+// offsets — that is the disjointness invariant) and remaps src to dst.
+func (d *Defragmenter) meshPair(ctx *sim.Ctx, dst, src int, srcBits [4]uint64) {
+	p := d.p
+	heap := p.Heap()
+	heapOff := heap.HeapOff()
+	dstPhys := uint64(d.remap[dst])
+	buf := make([]byte, alloc.SlotSize)
+	for s := 0; s < alloc.SlotsPerFrame; s++ {
+		if srcBits[s/64]&(1<<(s%64)) == 0 {
+			continue
+		}
+		off := heap.OffsetOf(src, s)
+		p.RawLoad(ctx, off, buf) // via src's current physical frame
+		// Write directly to dst's physical slot and persist (the remap is
+		// not yet updated, so RawStore would hit the old location).
+		pa := p.PA(heapOff+dstPhys*alloc.FrameSize) + uint64(s)*alloc.SlotSize
+		p.Device().Store(ctx, pa, buf)
+		p.Device().Clwb(ctx, pa)
+	}
+	p.Device().Sfence(ctx)
+	d.remap[src] = uint32(dstPhys)
+	heap.SetState(dst, alloc.FrameMeshed)
+	heap.SetState(src, alloc.FrameMeshed)
+}

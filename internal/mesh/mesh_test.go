@@ -1,0 +1,170 @@
+package mesh_test
+
+import (
+	"testing"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/ds"
+	"ffccd/internal/mesh"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+func setup(t *testing.T) (*pmop.Pool, *sim.Ctx) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = 128 * 1024
+	rt := pmop.NewRuntime(&cfg, 32<<20)
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	p, err := rt.Create("mesh", 16<<20, 12, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sim.NewCtx(&cfg)
+}
+
+// fragmentComplementary builds frames whose occupancy patterns are
+// offset-disjoint: objects at even slots in some frames, odd-ish slots in
+// others, by allocating pairs and freeing alternating halves.
+func fragmentComplementary(t *testing.T, p *pmop.Pool, ctx *sim.Ctx) *ds.List {
+	l, err := ds.NewList(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var toDelete []uint64
+	for i := uint64(0); i < 3000; i++ {
+		if err := l.Insert(ctx, i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			toDelete = append(toDelete, i)
+		}
+	}
+	for _, k := range toDelete {
+		l.Delete(ctx, k)
+	}
+	return l
+}
+
+func TestMeshReducesPhysicalFootprint(t *testing.T) {
+	p, ctx := setup(t)
+	l := fragmentComplementary(t, p, ctx)
+	d := mesh.New(p)
+	before := d.PhysFrag(12)
+	released := d.RunCycle(ctx)
+	if released == 0 {
+		t.Skip("no disjoint pairs found with this layout")
+	}
+	after := d.PhysFrag(12)
+	if after.FootprintBytes >= before.FootprintBytes {
+		t.Fatalf("physical footprint %d → %d despite %d meshes",
+			before.FootprintBytes, after.FootprintBytes, released)
+	}
+	// All data still readable through the remapped pages.
+	for i := uint64(1); i < 3000; i += 2 {
+		v, ok := l.Get(ctx, i)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("key %d unreadable after meshing", i)
+		}
+	}
+}
+
+func TestMeshKeepsVirtualAddressesValid(t *testing.T) {
+	p, ctx := setup(t)
+	l := fragmentComplementary(t, p, ctx)
+	d := mesh.New(p)
+	d.RunCycle(ctx)
+	// Mutations through old virtual addresses must land correctly.
+	for i := uint64(1); i < 100; i += 2 {
+		if err := l.Insert(ctx, i, []byte{0xEE}); err != nil {
+			t.Fatal(err)
+		}
+		v, ok := l.Get(ctx, i)
+		if !ok || v[0] != 0xEE {
+			t.Fatalf("write-after-mesh readback failed for %d", i)
+		}
+	}
+}
+
+func TestMeshedFramesRejectAllocation(t *testing.T) {
+	p, ctx := setup(t)
+	fragmentComplementary(t, p, ctx)
+	d := mesh.New(p)
+	if d.RunCycle(ctx) == 0 {
+		t.Skip("no meshes")
+	}
+	heap := p.Heap()
+	meshed := -1
+	for f := 0; f < heap.Frames(); f++ {
+		if heap.State(f) == alloc.FrameMeshed {
+			meshed = f
+			break
+		}
+	}
+	if meshed < 0 {
+		t.Fatal("no meshed frame recorded")
+	}
+	// Allocations must avoid meshed frames.
+	ti, _ := p.Types().LookupName("ds.value")
+	for i := 0; i < 500; i++ {
+		obj, err := p.Alloc(ctx, ti.ID, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heap.FrameOf(obj.Offset()-pmop.HeaderSize) == meshed {
+			t.Fatal("allocation landed in a meshed frame")
+		}
+	}
+}
+
+func TestMeshIdempotentWhenDense(t *testing.T) {
+	p, ctx := setup(t)
+	l, _ := ds.NewList(ctx, p)
+	for i := uint64(0); i < 500; i++ {
+		l.Insert(ctx, i, []byte{1})
+	}
+	d := mesh.New(p)
+	if n := d.RunCycle(ctx); n != 0 {
+		t.Fatalf("meshed %d pairs on a dense heap", n)
+	}
+	if d.MeshedFrames() != 0 {
+		t.Fatal("phantom meshed frames")
+	}
+}
+
+func TestMeshPhysFragAccounting(t *testing.T) {
+	p, ctx := setup(t)
+	l := fragmentComplementary(t, p, ctx)
+	_ = l
+	d := mesh.New(p)
+	virt := p.Heap().Frag(12)
+	released := d.RunCycle(ctx)
+	phys := d.PhysFrag(12)
+	// Physical footprint = virtual footprint − meshed frames.
+	want := virt.FootprintBytes - uint64(released)*4096
+	if phys.FootprintBytes != want {
+		t.Errorf("phys footprint = %d, want %d", phys.FootprintBytes, want)
+	}
+	if released > 0 && phys.FragRatio >= virt.FragRatio {
+		t.Errorf("phys fragR %.2f not below virtual %.2f", phys.FragRatio, virt.FragRatio)
+	}
+}
+
+func TestMeshRepeatedCyclesConverge(t *testing.T) {
+	p, ctx := setup(t)
+	fragmentComplementary(t, p, ctx)
+	d := mesh.New(p)
+	total := 0
+	for i := 0; i < 5; i++ {
+		total += d.RunCycle(ctx)
+	}
+	// Meshed frames never unmesh; cycles must converge (identity-mapped
+	// candidates run out).
+	if d.MeshedFrames() != total {
+		t.Errorf("meshed %d != total released %d", d.MeshedFrames(), total)
+	}
+	if again := d.RunCycle(ctx); again > 10 {
+		t.Errorf("meshing did not converge: %d new pairs on 6th cycle", again)
+	}
+}

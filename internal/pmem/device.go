@@ -1,0 +1,370 @@
+// Package pmem simulates byte-addressable persistent memory behind a
+// write-back processor cache, reproducing the Intel ADR failure model the
+// paper assumes:
+//
+//   - Stores land in a volatile set-associative cache.
+//   - clwb copies a dirty line toward the Write Pending Queue; until the next
+//     sfence the line is "in flight" and MAY OR MAY NOT survive a crash.
+//   - sfence drains in-flight lines into the persistence domain (WPQ → media).
+//   - Natural evictions write lines back to media lazily — this is the path
+//     FFCCD's fence-free design relies on.
+//   - relocate (the paper's new instruction, §4.2) copies data through the
+//     cache setting a pending bit on every destination line; when a pending
+//     line reaches the persistence domain the Reached Bitmap Buffer is
+//     notified via the RBBSink hook.
+//   - Crash() discards all cached lines, applies a configurable policy to
+//     in-flight lines (ADR guarantees only what reached the WPQ), and leaves
+//     the media array as the exact post-crash machine state.
+//
+// All latencies are charged to the sim.Ctx passed to each operation.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ffccd/internal/sim"
+)
+
+// LineSize is the cacheline size in bytes.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// RBBSink receives notifications when a cacheline tagged by relocate reaches
+// the persistence domain. The arch package's Reached Bitmap Buffer implements
+// it. Implementations must not call back into Device cache operations (they
+// may use MediaWrite/MediaRead, which bypass the cache).
+type RBBSink interface {
+	LineReached(ctx *sim.Ctx, lineAddr uint64)
+}
+
+// CrashPolicy decides, for a line that was clwb'd but not yet fenced at the
+// moment of a crash, whether it reached the persistence domain. Fault
+// injection enumerates both outcomes; the default policy drops everything
+// (the most adversarial interpretation).
+type CrashPolicy func(lineAddr uint64) bool
+
+// DropAllInflight is the default CrashPolicy: no unfenced line survives.
+func DropAllInflight(uint64) bool { return false }
+
+// KeepAllInflight persists every unfenced clwb'd line.
+func KeepAllInflight(uint64) bool { return true }
+
+type cacheLine struct {
+	tag     uint64 // line index + 1; 0 = invalid
+	dirty   bool
+	pending bool // destination of a relocate, not yet reached persistence
+	age     uint32
+	data    [LineSize]byte
+}
+
+type cacheSet struct {
+	mu   sync.Mutex
+	ways []cacheLine
+	tick uint32
+}
+
+type inflightLine struct {
+	pending bool
+	data    [LineSize]byte
+}
+
+// Stats are cumulative device counters (approximate under concurrency; used
+// for reporting, not correctness).
+type Stats struct {
+	Loads        uint64
+	Stores       uint64
+	CacheHits    uint64
+	CacheMisses  uint64
+	Evictions    uint64
+	MediaWrites  uint64 // lines written to media (PM write traffic)
+	MediaReads   uint64 // lines fetched from media
+	Clwbs        uint64
+	Sfences      uint64
+	RelocateOps  uint64
+	PendingReach uint64 // pending lines that reached persistence
+}
+
+// Device is a simulated persistent-memory module plus the volatile cache in
+// front of it. It is safe for concurrent use by multiple simulation threads.
+type Device struct {
+	cfg   *sim.Config
+	media []byte
+	nset  int
+	nway  int
+	sets  []cacheSet
+
+	inflightMu sync.Mutex
+	inflight   map[uint64]*inflightLine
+
+	rbbMu sync.Mutex
+	rbb   RBBSink
+
+	policyMu sync.Mutex
+	policy   CrashPolicy
+
+	eADR atomic.Bool
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// SetEADR switches the platform persistence domain to eADR (§4.4): on power
+// failure the battery flushes *all* cache levels, so every store is durable
+// once globally visible and crash consistency needs no clwb/sfence at all.
+// The paper contrasts eADR's ~300 mm³ battery volume against the 0.017 mm³
+// the RBB needs; this switch exists for that ablation.
+func (d *Device) SetEADR(on bool) { d.eADR.Store(on) }
+
+// EADR reports whether the device is in eADR mode.
+func (d *Device) EADR() bool { return d.eADR.Load() }
+
+// NewDevice creates a device with size bytes of persistent media.
+func NewDevice(cfg *sim.Config, size uint64) *Device {
+	nline := cfg.CacheBytes / cfg.CacheLineSize
+	nway := cfg.CacheWays
+	nset := nline / nway
+	if nset < 1 {
+		nset = 1
+	}
+	d := &Device{
+		cfg:      cfg,
+		media:    make([]byte, size),
+		nset:     nset,
+		nway:     nway,
+		sets:     make([]cacheSet, nset),
+		inflight: make(map[uint64]*inflightLine),
+		policy:   DropAllInflight,
+	}
+	for i := range d.sets {
+		d.sets[i].ways = make([]cacheLine, nway)
+	}
+	return d
+}
+
+// Size returns the media capacity in bytes.
+func (d *Device) Size() uint64 { return uint64(len(d.media)) }
+
+// SetRBB installs the reached-bitmap sink (nil disables notifications).
+func (d *Device) SetRBB(s RBBSink) {
+	d.rbbMu.Lock()
+	d.rbb = s
+	d.rbbMu.Unlock()
+}
+
+// SetCrashPolicy installs the policy applied to in-flight lines at Crash().
+func (d *Device) SetCrashPolicy(p CrashPolicy) {
+	d.policyMu.Lock()
+	if p == nil {
+		p = DropAllInflight
+	}
+	d.policy = p
+	d.policyMu.Unlock()
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters.
+func (d *Device) ResetStats() {
+	d.statsMu.Lock()
+	d.stats = Stats{}
+	d.statsMu.Unlock()
+}
+
+func (d *Device) bump(f func(*Stats)) {
+	d.statsMu.Lock()
+	f(&d.stats)
+	d.statsMu.Unlock()
+}
+
+func (d *Device) checkRange(addr, n uint64) {
+	if addr+n > uint64(len(d.media)) || addr+n < addr {
+		panic(fmt.Sprintf("pmem: access out of range: addr=%#x len=%d size=%d", addr, n, len(d.media)))
+	}
+}
+
+// notifyReached reports a pending line's arrival in the persistence domain.
+func (d *Device) notifyReached(ctx *sim.Ctx, lineIdx uint64) {
+	d.bump(func(s *Stats) { s.PendingReach++ })
+	d.rbbMu.Lock()
+	sink := d.rbb
+	d.rbbMu.Unlock()
+	if sink != nil {
+		sink.LineReached(ctx, lineIdx<<LineShift)
+	}
+}
+
+// writeMediaLine commits a full line to media, dropping any stale in-flight
+// copy so a later crash cannot regress the line to older data. The media
+// copy happens under inflightMu so it cannot interleave with an Sfence
+// draining the same line.
+func (d *Device) writeMediaLine(ctx *sim.Ctx, lineIdx uint64, data *[LineSize]byte, pending bool) {
+	d.inflightMu.Lock()
+	copy(d.media[lineIdx<<LineShift:], data[:])
+	delete(d.inflight, lineIdx)
+	d.inflightMu.Unlock()
+	d.bump(func(s *Stats) { s.MediaWrites++ })
+	if ctx != nil {
+		ctx.Charge(d.cfg.PMWriteBandwidthPenalty)
+	}
+	if pending {
+		d.notifyReached(ctx, lineIdx)
+	}
+}
+
+// SnapshotMedia returns a copy of the full persistent image (for
+// determinism tests and offline analysis). Call only on a quiescent device.
+func (d *Device) SnapshotMedia() []byte {
+	out := make([]byte, len(d.media))
+	copy(out, d.media)
+	return out
+}
+
+// RestoreMedia overwrites the persistent image and drops all volatile state
+// — reconstructing a captured post-crash machine. Testing only.
+func (d *Device) RestoreMedia(img []byte) {
+	if len(img) != len(d.media) {
+		panic("pmem: RestoreMedia size mismatch")
+	}
+	copy(d.media, img)
+	d.inflightMu.Lock()
+	d.inflight = make(map[uint64]*inflightLine)
+	d.inflightMu.Unlock()
+	for i := range d.sets {
+		set := &d.sets[i]
+		set.mu.Lock()
+		for w := range set.ways {
+			set.ways[w] = cacheLine{}
+		}
+		set.mu.Unlock()
+	}
+}
+
+// MediaRead copies persisted bytes (media only — the post-crash view). It is
+// intended for recovery code, checkers and tests; it does not model latency
+// and must not race with concurrent cache operations on the same lines.
+func (d *Device) MediaRead(addr uint64, buf []byte) {
+	d.checkRange(addr, uint64(len(buf)))
+	copy(buf, d.media[addr:])
+}
+
+// MediaWrite writes bytes straight to media, bypassing the cache — the
+// memory-controller-side path used by the RBB to maintain the in-memory
+// reached bitmap, and by tests to construct post-crash states.
+func (d *Device) MediaWrite(addr uint64, data []byte) {
+	d.checkRange(addr, uint64(len(data)))
+	copy(d.media[addr:], data)
+	d.bump(func(s *Stats) { s.MediaWrites++ })
+}
+
+// Crash simulates a power failure: every cached line is lost, the crash
+// policy decides the fate of in-flight (clwb'd, unfenced) lines, and ADR
+// drains whatever reached the WPQ. After Crash the media array is the
+// machine's post-restart persistent state. Not safe to call concurrently
+// with other operations (a real crash stops the machine too).
+func (d *Device) Crash() {
+	if d.eADR.Load() {
+		// eADR: the battery flushes every cache level; nothing volatile is
+		// lost. Pending lines reach the persistence domain and notify the
+		// RBB exactly as a normal write-back would.
+		d.FlushAll(sim.NewCtx(d.cfg))
+		return
+	}
+	d.policyMu.Lock()
+	policy := d.policy
+	d.policyMu.Unlock()
+
+	d.inflightMu.Lock()
+	for lineIdx, fl := range d.inflight {
+		if policy(lineIdx << LineShift) {
+			copy(d.media[lineIdx<<LineShift:], fl.data[:])
+			if fl.pending {
+				// Reached the WPQ at power-off; ADR flushes it and the RBB
+				// update logic runs during the flush (§4.2).
+				d.inflightMu.Unlock()
+				d.notifyReached(nil, lineIdx)
+				d.inflightMu.Lock()
+			}
+		}
+	}
+	d.inflight = make(map[uint64]*inflightLine)
+	d.inflightMu.Unlock()
+
+	for i := range d.sets {
+		set := &d.sets[i]
+		set.mu.Lock()
+		for w := range set.ways {
+			set.ways[w] = cacheLine{}
+		}
+		set.tick = 0
+		set.mu.Unlock()
+	}
+}
+
+// InflightLines returns the addresses of clwb'd-but-unfenced lines (for fault
+// injection to enumerate crash outcomes).
+func (d *Device) InflightLines() []uint64 {
+	d.inflightMu.Lock()
+	defer d.inflightMu.Unlock()
+	out := make([]uint64, 0, len(d.inflight))
+	for idx := range d.inflight {
+		out = append(out, idx<<LineShift)
+	}
+	return out
+}
+
+// LineState reports, for tests, where the newest copy of the line containing
+// addr currently lives.
+type LineState int
+
+const (
+	// LineMediaOnly means the newest data is only in media (persistent).
+	LineMediaOnly LineState = iota
+	// LineCachedClean means cached and identical to media.
+	LineCachedClean
+	// LineCachedDirty means the newest data is volatile (lost on crash).
+	LineCachedDirty
+	// LineCachedPending means dirty and tagged by relocate.
+	LineCachedPending
+	// LineInflight means clwb'd but not fenced (crash-policy dependent).
+	LineInflight
+)
+
+// StateOf returns the LineState for the line containing addr.
+func (d *Device) StateOf(addr uint64) LineState {
+	lineIdx := addr >> LineShift
+	d.inflightMu.Lock()
+	_, inflight := d.inflight[lineIdx]
+	d.inflightMu.Unlock()
+	set := &d.sets[int(lineIdx%uint64(d.nset))]
+	set.mu.Lock()
+	for w := range set.ways {
+		l := &set.ways[w]
+		if l.tag == lineIdx+1 {
+			st := LineCachedClean
+			if l.pending {
+				st = LineCachedPending
+			} else if l.dirty {
+				st = LineCachedDirty
+			} else if inflight {
+				// Cached clean but the durable copy is still in flight.
+				st = LineInflight
+			}
+			set.mu.Unlock()
+			return st
+		}
+	}
+	set.mu.Unlock()
+	if inflight {
+		return LineInflight
+	}
+	return LineMediaOnly
+}

@@ -1,0 +1,286 @@
+package pmem
+
+import "ffccd/internal/sim"
+
+// fillLine loads the newest persistent copy of lineIdx (in-flight beats
+// media) into buf. Caller holds the set lock.
+func (d *Device) fillLine(lineIdx uint64, buf *[LineSize]byte) {
+	d.inflightMu.Lock()
+	fl, ok := d.inflight[lineIdx]
+	if ok {
+		*buf = fl.data
+	}
+	d.inflightMu.Unlock()
+	if !ok {
+		copy(buf[:], d.media[lineIdx<<LineShift:(lineIdx+1)<<LineShift])
+	}
+}
+
+// access locks the set for lineIdx, ensures the line is resident (filling
+// from the persistence domain on a miss, evicting a victim if needed), runs
+// fn on it, and unlocks. Returns whether the access hit in the cache.
+func (d *Device) access(ctx *sim.Ctx, lineIdx uint64, fn func(l *cacheLine)) bool {
+	set := &d.sets[int(lineIdx%uint64(d.nset))]
+	set.mu.Lock()
+	set.tick++
+	var victim *cacheLine
+	var oldest uint32 = ^uint32(0)
+	for w := range set.ways {
+		l := &set.ways[w]
+		if l.tag == lineIdx+1 {
+			l.age = set.tick
+			fn(l)
+			set.mu.Unlock()
+			return true
+		}
+		if l.tag == 0 {
+			if oldest != 0 {
+				victim, oldest = l, 0
+			}
+			continue
+		}
+		if l.age < oldest {
+			victim, oldest = l, l.age
+		}
+	}
+	// Miss: evict the victim and fill.
+	if victim.tag != 0 && victim.dirty {
+		d.bump(func(s *Stats) { s.Evictions++ })
+		d.writeMediaLine(ctx, victim.tag-1, &victim.data, victim.pending)
+	}
+	victim.tag = lineIdx + 1
+	victim.dirty = false
+	victim.pending = false
+	victim.age = set.tick
+	d.fillLine(lineIdx, &victim.data)
+	fn(victim)
+	set.mu.Unlock()
+	return false
+}
+
+// Load reads len(buf) bytes at addr through the cache, charging hit/miss
+// latencies. TLB translation is charged by the caller, which knows the
+// virtual address.
+func (d *Device) Load(ctx *sim.Ctx, addr uint64, buf []byte) {
+	d.checkRange(addr, uint64(len(buf)))
+	d.bump(func(s *Stats) { s.Loads++ })
+	for len(buf) > 0 {
+		lineIdx := addr >> LineShift
+		off := addr & (LineSize - 1)
+		n := LineSize - off
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		hit := d.access(ctx, lineIdx, func(l *cacheLine) {
+			copy(buf[:n], l.data[off:off+n])
+		})
+		if hit {
+			ctx.Charge(d.cfg.L2Latency)
+			d.bump(func(s *Stats) { s.CacheHits++ })
+		} else {
+			ctx.Charge(d.cfg.L2Latency + d.cfg.PMReadLatency)
+			d.bump(func(s *Stats) { s.CacheMisses++; s.MediaReads++ })
+		}
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// Store writes data at addr through the cache (write-allocate, write-back).
+func (d *Device) Store(ctx *sim.Ctx, addr uint64, data []byte) {
+	d.storeInternal(ctx, addr, data, false)
+}
+
+func (d *Device) storeInternal(ctx *sim.Ctx, addr uint64, data []byte, pending bool) {
+	d.checkRange(addr, uint64(len(data)))
+	d.bump(func(s *Stats) { s.Stores++ })
+	for len(data) > 0 {
+		lineIdx := addr >> LineShift
+		off := addr & (LineSize - 1)
+		n := LineSize - off
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
+		}
+		hit := d.access(ctx, lineIdx, func(l *cacheLine) {
+			copy(l.data[off:off+n], data[:n])
+			l.dirty = true
+			if pending {
+				l.pending = true
+			}
+		})
+		if hit {
+			ctx.Charge(d.cfg.L2Latency)
+			d.bump(func(s *Stats) { s.CacheHits++ })
+		} else {
+			ctx.Charge(d.cfg.L2Latency + d.cfg.PMReadLatency)
+			d.bump(func(s *Stats) { s.CacheMisses++; s.MediaReads++ })
+		}
+		data = data[n:]
+		addr += n
+	}
+}
+
+// Clwb initiates write-back of the line containing addr. The line becomes
+// clean in the cache and its contents move to the in-flight buffer: durable
+// only after the next Sfence (or if the crash policy is merciful). A clwb of
+// a line that is not dirty is a no-op beyond its access cost.
+func (d *Device) Clwb(ctx *sim.Ctx, addr uint64) {
+	d.checkRange(addr, 1)
+	d.bump(func(s *Stats) { s.Clwbs++ })
+	lineIdx := addr >> LineShift
+	set := &d.sets[int(lineIdx%uint64(d.nset))]
+	set.mu.Lock()
+	for w := range set.ways {
+		l := &set.ways[w]
+		if l.tag == lineIdx+1 {
+			if l.dirty {
+				d.inflightMu.Lock()
+				fl := d.inflight[lineIdx]
+				if fl == nil {
+					fl = &inflightLine{}
+					d.inflight[lineIdx] = fl
+				}
+				fl.data = l.data
+				fl.pending = fl.pending || l.pending
+				d.inflightMu.Unlock()
+				l.dirty = false
+				l.pending = false
+				ctx.PendingFlushes++
+			}
+			break
+		}
+	}
+	set.mu.Unlock()
+	ctx.Charge(d.cfg.L2Latency + d.cfg.WPQLatency)
+}
+
+// Sfence drains all in-flight lines into the persistence domain and stalls
+// the issuing thread. (Real sfence orders only the issuing core's stores;
+// draining globally is a conservative simplification that never weakens the
+// schemes' ordering assumptions — documented in DESIGN.md.)
+func (d *Device) Sfence(ctx *sim.Ctx) {
+	d.bump(func(s *Stats) { s.Sfences++ })
+	d.inflightMu.Lock()
+	drained := len(d.inflight)
+	var reached []uint64
+	for lineIdx, fl := range d.inflight {
+		copy(d.media[lineIdx<<LineShift:], fl.data[:])
+		if fl.pending {
+			reached = append(reached, lineIdx)
+		}
+		delete(d.inflight, lineIdx)
+	}
+	d.inflightMu.Unlock()
+	if drained > 0 {
+		d.bump(func(s *Stats) { s.MediaWrites += uint64(drained) })
+		ctx.Charge(uint64(drained) * d.cfg.PMWriteBandwidthPenalty)
+	}
+	for _, lineIdx := range reached {
+		d.notifyReached(ctx, lineIdx)
+	}
+	if ctx.PendingFlushes > 0 || drained > 0 {
+		// The fence exposes the full PM write latency — the stall FFCCD's
+		// fence-free design eliminates (§3.3.3).
+		ctx.Charge(d.cfg.PMWriteLatency)
+	} else {
+		ctx.Charge(d.cfg.WPQLatency)
+	}
+	ctx.PendingFlushes = 0
+}
+
+// RelocatePart is one source→destination span of a relocate operation.
+type RelocatePart struct {
+	Dst, Src, N uint64
+}
+
+// Relocate implements the paper's relocate instruction (§4.2): it copies n
+// bytes from src to dst through the cache, tagging every destination line
+// with the pending bit. No flush or fence is issued; the copied data reaches
+// the persistence domain lazily (eviction, a later clwb+sfence, or ADR at
+// power-off), and the RBB is notified when it does.
+func (d *Device) Relocate(ctx *sim.Ctx, dst, src, n uint64) {
+	d.RelocateParts(ctx, []RelocatePart{{Dst: dst, Src: src, N: n}})
+}
+
+// RelocateParts performs one relocate operation over multiple spans,
+// assembling each destination cacheline's new bytes in full before issuing a
+// single store for it. Destination lines are therefore update-atomic: a line
+// that reaches the persistence domain carries either none or all of the
+// operation's bytes for that line — the invariant the reached bitmap's
+// per-line granularity relies on during recovery (Observation 4), both for
+// objects whose source is not line-aligned and for small objects sharing a
+// destination line (which the defragmenter relocates as one cluster through
+// this call).
+func (d *Device) RelocateParts(ctx *sim.Ctx, parts []RelocatePart) {
+	d.bump(func(s *Stats) { s.RelocateOps++ })
+	// Collect the per-destination-line writes.
+	type span struct {
+		off  uint64 // offset within the line
+		data []byte
+	}
+	lines := make(map[uint64][]span)
+	var order []uint64
+	for _, p := range parts {
+		d.checkRange(p.Src, p.N)
+		d.checkRange(p.Dst, p.N)
+		dst, src, n := p.Dst, p.Src, p.N
+		for n > 0 {
+			lineIdx := dst >> LineShift
+			off := dst & (LineSize - 1)
+			step := LineSize - off
+			if step > n {
+				step = n
+			}
+			buf := make([]byte, step)
+			d.Load(ctx, src, buf)
+			if _, seen := lines[lineIdx]; !seen {
+				order = append(order, lineIdx)
+			}
+			lines[lineIdx] = append(lines[lineIdx], span{off, buf})
+			dst += step
+			src += step
+			n -= step
+		}
+	}
+	// One pending-tagged store per destination line, covering the full span
+	// this operation writes there.
+	for _, lineIdx := range order {
+		spans := lines[lineIdx]
+		lo, hi := uint64(LineSize), uint64(0)
+		for _, s := range spans {
+			if s.off < lo {
+				lo = s.off
+			}
+			if end := s.off + uint64(len(s.data)); end > hi {
+				hi = end
+			}
+		}
+		buf := make([]byte, hi-lo)
+		// Gaps between spans within [lo,hi) keep their current contents.
+		d.Load(ctx, lineIdx<<LineShift+lo, buf)
+		for _, s := range spans {
+			copy(buf[s.off-lo:], s.data)
+		}
+		d.storeInternal(ctx, lineIdx<<LineShift+lo, buf, true)
+	}
+}
+
+// FlushAll writes every dirty cached line back to media (clwb+sfence over
+// the whole cache). Used by terminate() before releasing relocation pages
+// and by tests that need a fully persisted heap.
+func (d *Device) FlushAll(ctx *sim.Ctx) {
+	for i := range d.sets {
+		set := &d.sets[i]
+		set.mu.Lock()
+		for w := range set.ways {
+			l := &set.ways[w]
+			if l.tag != 0 && l.dirty {
+				d.writeMediaLine(ctx, l.tag-1, &l.data, l.pending)
+				l.dirty = false
+				l.pending = false
+			}
+		}
+		set.mu.Unlock()
+	}
+	d.Sfence(ctx)
+}

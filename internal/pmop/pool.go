@@ -1,0 +1,472 @@
+package pmop
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/pmem"
+	"ffccd/internal/sim"
+)
+
+// ReadBarrier is the hook the defragmenter installs on a pool during its
+// compacting phase. Resolve is the paper's D_RW/D_RO read barrier: given a
+// persistent pointer it checks whether the referent sits on a relocation
+// page, relocates it if necessary, and returns the current pointer.
+type ReadBarrier interface {
+	Resolve(ctx *sim.Ctx, ref Ptr) Ptr
+}
+
+// HeaderSize is the per-object header: u32 type id, u32 payload length,
+// u64 reserved. Headers are persisted at allocation time so post-crash
+// reachability analysis can parse the heap.
+const HeaderSize = 16
+
+// Pool header field offsets (pool offset 0, one reserved frame).
+const (
+	hdrMagic      = 0
+	hdrPoolID     = 8
+	hdrRoot       = 16
+	hdrHeapOff    = 24
+	hdrHeapFrames = 32
+	hdrTxLogOff   = 40
+	hdrTxSlots    = 48
+	hdrTxSlotSize = 56
+	hdrGCMetaOff  = 64
+	hdrGCMetaSize = 72
+	hdrGCPhase    = 80 // owned by the defragmentation engine
+	hdrPageShift  = 88
+)
+
+const poolMagic = 0x46464343_44504D31 // "FFCCDPM1"
+
+// Geometry constants.
+const (
+	txSlotCount    = 8
+	txSlotBytes    = 64 * 1024
+	gcMetaPerFrame = 320 // reached bitmap (8) + moved bitmap (32) + PMFT (264) + slack
+)
+
+// Pool is a persistent memory object pool mapped into the simulated device.
+type Pool struct {
+	rt   *Runtime
+	id   uint16
+	name string
+
+	region uint64 // device (physical) base address
+	size   uint64
+	vaBase uint64 // per-run virtual base: relocatability (§2.2.1)
+
+	heapOff    uint64
+	heapFrames uint64
+	txLogOff   uint64
+	gcMetaOff  uint64
+	gcMetaSize uint64
+	pageShift  uint
+
+	dev   *pmem.Device
+	cfg   *sim.Config
+	heap  *alloc.Heap
+	types *Registry
+
+	barrier   atomic.Pointer[barrierBox]
+	allocHook atomic.Pointer[func()]
+	txAddHook atomic.Pointer[func(ctx *sim.Ctx, off, n uint64)]
+
+	world   sync.RWMutex
+	txFree  chan int
+	txSlots []*Tx
+
+	remapMu    sync.Mutex
+	remapHooks []func(remap func(Ptr) Ptr)
+
+	// frameRemap maps virtual heap frames to physical heap frames (nil =
+	// identity). Installed by the Mesh comparator, which compacts physical
+	// memory by aliasing virtual pages instead of moving references.
+	frameRemap atomic.Pointer[[]uint32]
+
+	// Op counters for throughput reporting.
+	Ops atomic.Uint64
+}
+
+type barrierBox struct{ b ReadBarrier }
+
+// --- construction -----------------------------------------------------------
+
+func layout(size uint64) (txLogOff, gcMetaOff, gcMetaSize, heapOff, heapFrames uint64, err error) {
+	txLogOff = alloc.FrameSize
+	gcMetaOff = txLogOff + txSlotCount*txSlotBytes
+	if size <= gcMetaOff+2*alloc.FrameSize {
+		return 0, 0, 0, 0, 0, fmt.Errorf("pmop: pool size %d too small", size)
+	}
+	avail := size - gcMetaOff
+	heapFrames = avail / (alloc.FrameSize + gcMetaPerFrame)
+	gcMetaSize = (heapFrames*gcMetaPerFrame + alloc.FrameSize - 1) &^ (alloc.FrameSize - 1)
+	heapOff = gcMetaOff + gcMetaSize
+	heapFrames = (size - heapOff) / alloc.FrameSize
+	return txLogOff, gcMetaOff, gcMetaSize, heapOff, heapFrames, nil
+}
+
+func (p *Pool) initVolatile() {
+	p.heap = alloc.NewHeap(p.heapOff, int(p.heapFrames))
+	p.txFree = make(chan int, txSlotCount)
+	p.txSlots = make([]*Tx, txSlotCount)
+	for i := 0; i < txSlotCount; i++ {
+		p.txSlots[i] = &Tx{pool: p, slot: i}
+		p.txFree <- i
+	}
+}
+
+// --- identity & geometry ----------------------------------------------------
+
+// ID returns the pool id.
+func (p *Pool) ID() uint16 { return p.id }
+
+// Name returns the pool name.
+func (p *Pool) Name() string { return p.name }
+
+// Heap exposes the allocator (the GC works with it directly).
+func (p *Pool) Heap() *alloc.Heap { return p.heap }
+
+// Types returns the pool's type registry.
+func (p *Pool) Types() *Registry { return p.types }
+
+// Device returns the underlying simulated PM device.
+func (p *Pool) Device() *pmem.Device { return p.dev }
+
+// Config returns the simulation config.
+func (p *Pool) Config() *sim.Config { return p.cfg }
+
+// PageShift returns the OS page-size shift used for footprint and TLB
+// accounting (12 = 4 KB, 21 = 2 MB).
+func (p *Pool) PageShift() uint { return p.pageShift }
+
+// GCMetaRange returns the pool-offset range reserved for GC persistent
+// metadata (PMFT, moved bitmaps, reached bitmap, phase state).
+func (p *Pool) GCMetaRange() (off, size uint64) { return p.gcMetaOff, p.gcMetaSize }
+
+// HeapRange returns the heap's pool-offset start and frame count.
+func (p *Pool) HeapRange() (off uint64, frames uint64) { return p.heapOff, p.heapFrames }
+
+// PA converts a pool offset to a device physical address, honouring the
+// Mesh-style frame remap when one is installed.
+func (p *Pool) PA(off uint64) uint64 {
+	if m := p.frameRemap.Load(); m != nil && off >= p.heapOff {
+		rel := off - p.heapOff
+		vf := rel / alloc.FrameSize
+		if int(vf) < len(*m) {
+			return p.region + p.heapOff + uint64((*m)[vf])*alloc.FrameSize + rel%alloc.FrameSize
+		}
+	}
+	return p.region + off
+}
+
+// SetFrameRemap installs (or clears, with nil) a virtual→physical heap-frame
+// mapping. The caller must quiesce the pool (stop-the-world) around changes.
+func (p *Pool) SetFrameRemap(m []uint32) {
+	if m == nil {
+		p.frameRemap.Store(nil)
+		return
+	}
+	p.frameRemap.Store(&m)
+}
+
+// VA converts a pool offset to this run's virtual address.
+func (p *Pool) VA(off uint64) uint64 { return p.vaBase + off }
+
+// OffsetOfPA converts a device address back to a pool offset.
+func (p *Pool) OffsetOfPA(pa uint64) uint64 { return pa - p.region }
+
+// OffsetOfVA converts this run's virtual address back to a pool offset.
+func (p *Pool) OffsetOfVA(va uint64) uint64 { return va - p.vaBase }
+
+// --- hooks -------------------------------------------------------------------
+
+// SetBarrier installs (or, with nil, removes) the read barrier.
+func (p *Pool) SetBarrier(b ReadBarrier) {
+	if b == nil {
+		p.barrier.Store(nil)
+		return
+	}
+	p.barrier.Store(&barrierBox{b})
+}
+
+// SetAllocHook installs a function invoked after every Alloc/Free — the
+// defragmentation trigger check (§5: pmalloc/pfree record fragmentation
+// state and trigger defragmentation).
+func (p *Pool) SetAllocHook(f func()) {
+	if f == nil {
+		p.allocHook.Store(nil)
+		return
+	}
+	p.allocHook.Store(&f)
+}
+
+// SetTxAddHook installs the dest-modification hook, invoked before a
+// transaction logs a range and before an object is freed (SFCCD's
+// moved-object disambiguation uses it; see DESIGN.md).
+func (p *Pool) SetTxAddHook(f func(ctx *sim.Ctx, off, n uint64)) {
+	if f == nil {
+		p.txAddHook.Store(nil)
+		return
+	}
+	p.txAddHook.Store(&f)
+}
+
+// RegisterRemapHook adds a callback invoked under stop-the-world at the end
+// of every defragmentation epoch with a remap function translating stale
+// persistent pointers to their current locations. Applications that cache
+// persistent pointers in volatile memory (handle maps, volatile indexes —
+// FPTree's DRAM inner nodes are the canonical example) re-heal those caches
+// here; heap-resident references are healed by the collector itself.
+func (p *Pool) RegisterRemapHook(fn func(remap func(Ptr) Ptr)) {
+	p.remapMu.Lock()
+	p.remapHooks = append(p.remapHooks, fn)
+	p.remapMu.Unlock()
+}
+
+// RunRemapHooks invokes every registered remap hook. Called by the
+// defragmentation engine while the world is stopped.
+func (p *Pool) RunRemapHooks(remap func(Ptr) Ptr) {
+	p.remapMu.Lock()
+	hooks := make([]func(remap func(Ptr) Ptr), len(p.remapHooks))
+	copy(hooks, p.remapHooks)
+	p.remapMu.Unlock()
+	for _, fn := range hooks {
+		fn(remap)
+	}
+}
+
+// --- world control (stop-the-world for marking/summary) ----------------------
+
+// StartOp enters an application operation (shared world access). Every
+// data-structure operation brackets itself with StartOp/EndOp so the GC can
+// stop the world for its idempotent phases.
+func (p *Pool) StartOp() { p.world.RLock() }
+
+// EndOp leaves an application operation.
+func (p *Pool) EndOp() { p.world.RUnlock(); p.Ops.Add(1) }
+
+// StopWorld blocks until all application operations drain, then holds them.
+func (p *Pool) StopWorld() { p.world.Lock() }
+
+// ResumeWorld releases the world.
+func (p *Pool) ResumeWorld() { p.world.Unlock() }
+
+// --- raw access (no barrier; used by allocator, tx, GC) ----------------------
+
+func (p *Pool) chargeTLB(ctx *sim.Ctx, off uint64) {
+	if ctx.TLB != nil {
+		ctx.Charge(ctx.TLB.Access(p.VA(off), p.pageShift))
+	}
+}
+
+// RawLoad reads len(buf) bytes at pool offset off through the cache.
+func (p *Pool) RawLoad(ctx *sim.Ctx, off uint64, buf []byte) {
+	p.chargeTLB(ctx, off)
+	p.dev.Load(ctx, p.PA(off), buf)
+}
+
+// RawStore writes data at pool offset off through the cache.
+func (p *Pool) RawStore(ctx *sim.Ctx, off uint64, data []byte) {
+	p.chargeTLB(ctx, off)
+	p.dev.Store(ctx, p.PA(off), data)
+}
+
+// RawLoadU64 reads a little-endian u64 at off.
+func (p *Pool) RawLoadU64(ctx *sim.Ctx, off uint64) uint64 {
+	var b [8]byte
+	p.RawLoad(ctx, off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// RawStoreU64 writes a little-endian u64 at off.
+func (p *Pool) RawStoreU64(ctx *sim.Ctx, off uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.RawStore(ctx, off, b[:])
+}
+
+// Clwb issues a cacheline write-back for the line containing pool offset off.
+func (p *Pool) Clwb(ctx *sim.Ctx, off uint64) { p.dev.Clwb(ctx, p.PA(off)) }
+
+// Sfence issues a store fence.
+func (p *Pool) Sfence(ctx *sim.Ctx) { p.dev.Sfence(ctx) }
+
+// PersistRange clwb's every line of [off, off+n) and fences once.
+func (p *Pool) PersistRange(ctx *sim.Ctx, off, n uint64) {
+	for a := off &^ (pmem.LineSize - 1); a < off+n; a += pmem.LineSize {
+		p.Clwb(ctx, a)
+	}
+	p.Sfence(ctx)
+}
+
+// --- barrier-mediated object access (D_RW / D_RO) ----------------------------
+
+// Resolve applies the read barrier to a persistent pointer — the equivalent
+// of PMDK's D_RW/D_RO conversion. With no active barrier it is the identity.
+func (p *Pool) Resolve(ctx *sim.Ctx, ref Ptr) Ptr {
+	if ref.IsNull() {
+		return ref
+	}
+	box := p.barrier.Load()
+	if box == nil {
+		return ref
+	}
+	return box.b.Resolve(ctx, ref)
+}
+
+// ReadPtr loads the pointer field at payload offset field of obj, applying
+// the read barrier to both the handle and the loaded reference, and
+// self-healing the stored reference if the referent has moved (the plain,
+// fence-free reference update of Observation 3).
+func (p *Pool) ReadPtr(ctx *sim.Ctx, obj Ptr, field uint64) Ptr {
+	obj = p.Resolve(ctx, obj)
+	slot := obj.Offset() + field
+	ref := Ptr(p.RawLoadU64(ctx, slot))
+	if ref.IsNull() {
+		return ref
+	}
+	cur := p.Resolve(ctx, ref)
+	if cur != ref {
+		p.RawStoreU64(ctx, slot, uint64(cur))
+	}
+	return cur
+}
+
+// WritePtr stores val into the pointer field at payload offset field of obj.
+// Both the handle and the stored value are barrier-resolved so stale
+// references never re-enter the heap during compaction.
+func (p *Pool) WritePtr(ctx *sim.Ctx, obj Ptr, field uint64, val Ptr) {
+	obj = p.Resolve(ctx, obj)
+	val = p.Resolve(ctx, val)
+	p.RawStoreU64(ctx, obj.Offset()+field, uint64(val))
+}
+
+// ReadU64 loads a u64 data field.
+func (p *Pool) ReadU64(ctx *sim.Ctx, obj Ptr, field uint64) uint64 {
+	obj = p.Resolve(ctx, obj)
+	return p.RawLoadU64(ctx, obj.Offset()+field)
+}
+
+// WriteU64 stores a u64 data field.
+func (p *Pool) WriteU64(ctx *sim.Ctx, obj Ptr, field uint64, v uint64) {
+	obj = p.Resolve(ctx, obj)
+	p.RawStoreU64(ctx, obj.Offset()+field, v)
+}
+
+// ReadBytes loads len(buf) bytes from obj's payload at field.
+func (p *Pool) ReadBytes(ctx *sim.Ctx, obj Ptr, field uint64, buf []byte) {
+	obj = p.Resolve(ctx, obj)
+	p.RawLoad(ctx, obj.Offset()+field, buf)
+}
+
+// WriteBytes stores data into obj's payload at field.
+func (p *Pool) WriteBytes(ctx *sim.Ctx, obj Ptr, field uint64, data []byte) {
+	obj = p.Resolve(ctx, obj)
+	p.RawStore(ctx, obj.Offset()+field, data)
+}
+
+// --- object header ------------------------------------------------------------
+
+// Header returns the type id and payload length of obj (no barrier; headers
+// move with their objects, so callers pass an already-resolved pointer).
+func (p *Pool) Header(ctx *sim.Ctx, obj Ptr) (TypeID, uint64) {
+	var b [8]byte
+	p.RawLoad(ctx, obj.Offset()-HeaderSize, b[:])
+	return TypeID(binary.LittleEndian.Uint32(b[0:4])), uint64(binary.LittleEndian.Uint32(b[4:8]))
+}
+
+// writeHeader persists an object header (type id + payload length).
+func (p *Pool) writeHeader(ctx *sim.Ctx, headerOff uint64, t TypeID, payload uint64) {
+	var b [HeaderSize]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(t))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(payload))
+	p.RawStore(ctx, headerOff, b[:])
+	p.Clwb(ctx, headerOff)
+	p.Sfence(ctx)
+}
+
+// --- allocation ----------------------------------------------------------------
+
+// Alloc allocates an object of the given registered type. For fixed-size
+// types payload may be 0 (the registered size is used); KindBytes and
+// KindPtrArray types take the payload size from the call.
+func (p *Pool) Alloc(ctx *sim.Ctx, t TypeID, payload uint64) (Ptr, error) {
+	ti, ok := p.types.Lookup(t)
+	if !ok {
+		return Null, fmt.Errorf("pmop: unregistered type %d", t)
+	}
+	if payload == 0 {
+		payload = ti.Size
+	}
+	if payload == 0 {
+		return Null, fmt.Errorf("pmop: type %s requires an explicit payload size", ti.Name)
+	}
+	headerOff, err := p.heap.Alloc(payload)
+	if err != nil {
+		return Null, err
+	}
+	// Zero the payload (stale media contents must not leak into new
+	// objects), then persist the header so post-crash reachability can
+	// parse the heap.
+	zero := make([]byte, payload)
+	p.RawStore(ctx, headerOff+HeaderSize, zero)
+	p.writeHeader(ctx, headerOff, t, payload)
+	if h := p.allocHook.Load(); h != nil {
+		(*h)()
+	}
+	return MakePtr(p.id, headerOff+HeaderSize), nil
+}
+
+// Free releases obj. The pointer is barrier-resolved first, so freeing
+// through a stale reference during compaction frees the current copy. Like
+// a transactional modification, freeing invalidates the object's destination
+// region, so the dest-modification hook fires first (SFCCD recovery must not
+// "repair" a freed-and-reused destination from its stale source copy).
+func (p *Pool) Free(ctx *sim.Ctx, obj Ptr) {
+	obj = p.Resolve(ctx, obj)
+	_, payload := p.Header(ctx, obj)
+	if hook := p.txAddHook.Load(); hook != nil {
+		(*hook)(ctx, obj.Offset()-HeaderSize, HeaderSize+payload)
+	}
+	p.heap.Free(obj.Offset()-HeaderSize, alloc.SlotsFor(payload))
+	if h := p.allocHook.Load(); h != nil {
+		(*h)()
+	}
+}
+
+// --- root ------------------------------------------------------------------------
+
+// Root returns the pool's root object pointer (§2.2.1: every PMOP has at
+// least one entry point called a root), barrier-resolved and self-healed.
+func (p *Pool) Root(ctx *sim.Ctx) Ptr {
+	ref := Ptr(p.RawLoadU64(ctx, hdrRoot))
+	if ref.IsNull() {
+		return ref
+	}
+	cur := p.Resolve(ctx, ref)
+	if cur != ref {
+		p.RawStoreU64(ctx, hdrRoot, uint64(cur))
+	}
+	return cur
+}
+
+// SetRoot durably updates the root pointer.
+func (p *Pool) SetRoot(ctx *sim.Ctx, root Ptr) {
+	p.RawStoreU64(ctx, hdrRoot, uint64(p.Resolve(ctx, root)))
+	p.Clwb(ctx, hdrRoot)
+	p.Sfence(ctx)
+}
+
+// GCPhase reads the persistent defragmentation phase word (owned by core).
+func (p *Pool) GCPhase(ctx *sim.Ctx) uint64 { return p.RawLoadU64(ctx, hdrGCPhase) }
+
+// SetGCPhase durably writes the defragmentation phase word.
+func (p *Pool) SetGCPhase(ctx *sim.Ctx, v uint64) {
+	p.RawStoreU64(ctx, hdrGCPhase, v)
+	p.Clwb(ctx, hdrGCPhase)
+	p.Sfence(ctx)
+}

@@ -1,0 +1,50 @@
+// Package pmop implements the persistent-memory object-pool programming
+// model the paper builds on (§2.2): pools with roots, 64-bit persistent
+// pointers (pool id + offset) for relocatability, typed allocation backed by
+// a type registry that records pointer-field layouts, undo-log transactions,
+// and D_RW/D_RO-style accessors with a pluggable read barrier — the hook the
+// defragmenter repurposes for concurrent compaction (§3.1).
+package pmop
+
+import "fmt"
+
+// Ptr is a persistent pointer: the high 16 bits hold the pool id (≥1) and
+// the low 48 bits the byte offset within the pool. The zero value is the
+// null pointer. Offsets always point at an object's payload; the 16-byte
+// header sits immediately before it.
+type Ptr uint64
+
+// Null is the nil persistent pointer.
+const Null Ptr = 0
+
+const offsetMask = (1 << 48) - 1
+
+// MakePtr builds a pointer from a pool id and offset.
+func MakePtr(pool uint16, off uint64) Ptr {
+	if pool == 0 {
+		panic("pmop: pool id 0 is reserved for the null pointer")
+	}
+	if off > offsetMask {
+		panic(fmt.Sprintf("pmop: offset %#x exceeds 48 bits", off))
+	}
+	return Ptr(uint64(pool)<<48 | off)
+}
+
+// PoolID returns the pool id component.
+func (p Ptr) PoolID() uint16 { return uint16(uint64(p) >> 48) }
+
+// Offset returns the pool-relative byte offset of the object payload.
+func (p Ptr) Offset() uint64 { return uint64(p) & offsetMask }
+
+// IsNull reports whether p is the null pointer.
+func (p Ptr) IsNull() bool { return p == 0 }
+
+// WithOffset returns a pointer in the same pool at a different offset.
+func (p Ptr) WithOffset(off uint64) Ptr { return MakePtr(p.PoolID(), off) }
+
+func (p Ptr) String() string {
+	if p.IsNull() {
+		return "pmop.Null"
+	}
+	return fmt.Sprintf("pool%d+%#x", p.PoolID(), p.Offset())
+}

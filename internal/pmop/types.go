@@ -1,0 +1,109 @@
+package pmop
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TypeID identifies a registered object type. It is stored in every object
+// header so reachability analysis can find pointer fields (§3.1: "the object
+// creators record type information of all objects for future references,
+// allowing us to distinguish data and references").
+type TypeID uint32
+
+// Kind classifies a type's pointer layout.
+type Kind uint8
+
+const (
+	// KindFixed is a fixed-size struct with pointer fields at PtrOffsets.
+	KindFixed Kind = iota
+	// KindBytes is raw data with no pointers (strings, value buffers).
+	KindBytes
+	// KindPtrArray is a payload consisting entirely of persistent pointers
+	// (hash-table bucket arrays, node child arrays of dynamic arity).
+	KindPtrArray
+)
+
+// TypeInfo describes a registered persistent type.
+type TypeInfo struct {
+	ID         TypeID
+	Name       string
+	Kind       Kind
+	Size       uint64   // fixed payload size; 0 means size chosen at Alloc
+	PtrOffsets []uint64 // payload offsets of pointer fields (KindFixed)
+}
+
+// Registry maps type ids to layouts. Like C type declarations it is volatile
+// and re-registered by application code on every run.
+type Registry struct {
+	mu     sync.RWMutex
+	byID   map[TypeID]*TypeInfo
+	byName map[string]*TypeInfo
+	next   TypeID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byID:   make(map[TypeID]*TypeInfo),
+		byName: make(map[string]*TypeInfo),
+		next:   1,
+	}
+}
+
+// Register adds a type and assigns its id. Registering the same name twice
+// returns the existing id (idempotent re-registration across runs).
+func (r *Registry) Register(info TypeInfo) TypeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[info.Name]; ok {
+		return existing.ID
+	}
+	if info.Name == "" {
+		panic("pmop: type must have a name")
+	}
+	for _, off := range info.PtrOffsets {
+		if off%8 != 0 || (info.Size > 0 && off+8 > info.Size) {
+			panic(fmt.Sprintf("pmop: type %s has invalid pointer offset %d", info.Name, off))
+		}
+	}
+	t := info
+	t.ID = r.next
+	r.next++
+	r.byID[t.ID] = &t
+	r.byName[t.Name] = &t
+	return t.ID
+}
+
+// Lookup returns the type for id.
+func (r *Registry) Lookup(id TypeID) (*TypeInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// LookupName returns the type registered under name.
+func (r *Registry) LookupName(name string) (*TypeInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// PointerOffsets returns the payload offsets of pointer fields for an object
+// of this type with the given payload size.
+func (t *TypeInfo) PointerOffsets(payload uint64) []uint64 {
+	switch t.Kind {
+	case KindBytes:
+		return nil
+	case KindPtrArray:
+		offs := make([]uint64, 0, payload/8)
+		for o := uint64(0); o+8 <= payload; o += 8 {
+			offs = append(offs, o)
+		}
+		return offs
+	default:
+		return t.PtrOffsets
+	}
+}

@@ -1,0 +1,84 @@
+package redisws_test
+
+import (
+	"testing"
+
+	"ffccd/internal/kv"
+	"ffccd/internal/redisws"
+	"ffccd/internal/stats"
+)
+
+func TestValueSizeDrift(t *testing.T) {
+	// The second phase's drifted size distribution must raise fragmentation
+	// above the single-distribution run (the mechanism behind Figure 16's
+	// footprint growth).
+	run := func(drift bool) float64 {
+		p, ctx := setup(t)
+		store, _ := kv.NewEcho(ctx, p, 2048)
+		cfg := smallCfg()
+		if drift {
+			cfg.MinVal, cfg.MaxVal = 24, 128
+			cfg.MinVal2, cfg.MaxVal2 = 256, 492
+		}
+		res, err := redisws.Run(ctx, p, store, cfg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Final.FragRatio
+	}
+	same := run(false)
+	drifted := run(true)
+	if drifted <= same {
+		t.Errorf("drifted fragR %.2f not above same-distribution %.2f", drifted, same)
+	}
+}
+
+func TestHookStallsAppearInLatencies(t *testing.T) {
+	p, ctx := setup(t)
+	store, _ := kv.NewEcho(ctx, p, 2048)
+	cfg := smallCfg()
+	cfg.InitialKeys, cfg.ExtraKeys = 500, 100
+	const bigStall = 50_000_000
+	fired := 0
+	res, err := redisws.Run(ctx, p, store, cfg, func(op int) uint64 {
+		if op == 300 {
+			fired++
+			return bigStall
+		}
+		return 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times", fired)
+	}
+	if maxLat := stats.Percentile(res.Latencies, 100); maxLat < bigStall {
+		t.Errorf("stall not reflected in latencies: max=%.0f", maxLat)
+	}
+}
+
+func TestEvictionsAreLRU(t *testing.T) {
+	p, ctx := setup(t)
+	store, _ := kv.NewEcho(ctx, p, 4096)
+	cfg := redisws.Config{
+		MaxLiveBytes:     10 * 1024,
+		InitialKeys:      200,
+		ExtraKeys:        0,
+		QueriesPerInsert: 0,
+		MinVal:           100,
+		MaxVal:           100,
+		Seed:             7,
+	}
+	res, err := redisws.Run(ctx, p, store, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("no evictions with a 10KB cap")
+	}
+	// Live stays bounded: ~100 values of 100 bytes.
+	if store.Len() > 110 {
+		t.Errorf("store holds %d entries, cap allows ~102", store.Len())
+	}
+}

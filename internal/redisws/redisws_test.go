@@ -1,0 +1,131 @@
+package redisws_test
+
+import (
+	"testing"
+
+	"ffccd/internal/core"
+	"ffccd/internal/kv"
+	"ffccd/internal/pmop"
+	"ffccd/internal/redisws"
+	"ffccd/internal/sim"
+	"ffccd/internal/stats"
+)
+
+func setup(t *testing.T) (*pmop.Pool, *sim.Ctx) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = 256 * 1024
+	rt := pmop.NewRuntime(&cfg, 128<<20)
+	reg := pmop.NewRegistry()
+	kv.RegisterTypes(reg)
+	p, err := rt.Create("redis", 64<<20, 12, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sim.NewCtx(&cfg)
+}
+
+func smallCfg() redisws.Config {
+	c := redisws.DefaultConfig()
+	c.MaxLiveBytes = 300 << 10 // force LRU expiry (the Figure 16 regime)
+	c.InitialKeys = 2500
+	c.ExtraKeys = 1200
+	c.QueriesPerInsert = 1
+	c.MinVal = 24 // a wide size mix fragments the heap hard
+	return c
+}
+
+func TestRedisLRUCapHolds(t *testing.T) {
+	p, ctx := setup(t)
+	store, _ := kv.NewEcho(ctx, p, 2048)
+	cfg := smallCfg()
+	res, err := redisws.Run(ctx, p, store, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("LRU never evicted despite cap")
+	}
+	// Live data stays near the cap; the footprint grows past it — that is
+	// the fragmentation Figure 16 shows.
+	// The allocator's live view includes entry/bucket overhead on top of
+	// the value bytes the LRU cap governs.
+	last := res.Samples[len(res.Samples)-1]
+	if last.Live > cfg.MaxLiveBytes*7/4 {
+		t.Errorf("live %d far exceeds cap %d", last.Live, cfg.MaxLiveBytes)
+	}
+	if res.Final.FragRatio < 1.1 {
+		t.Errorf("baseline fragR = %.2f, expected fragmentation", res.Final.FragRatio)
+	}
+	if len(res.Latencies) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+}
+
+func TestRedisWithFFCCDReducesFootprint(t *testing.T) {
+	base := func() float64 {
+		p, ctx := setup(t)
+		store, _ := kv.NewEcho(ctx, p, 2048)
+		res, err := redisws.Run(ctx, p, store, smallCfg(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Final.FragRatio
+	}()
+	withGC := func() float64 {
+		p, ctx := setup(t)
+		store, _ := kv.NewEcho(ctx, p, 2048)
+		opt := core.DefaultOptions()
+		opt.TriggerRatio = 1.05
+		opt.TargetRatio = 1.02
+		eng := core.NewEngine(p, opt)
+		defer eng.Close()
+		// Run defrag synchronously through the hook on a GC context: the
+		// pause the application observes is only the barrier cost.
+		gcCtx := sim.NewCtx(p.Config())
+		res, err := redisws.Run(ctx, p, store, smallCfg(), func(op int) uint64 {
+			if op%500 == 499 {
+				eng.RunCycle(gcCtx)
+			}
+			return 0
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Final.FragRatio
+	}()
+	// At this miniature scale the achievable compaction gain is marginal
+	// (per-object line round-up ≈ first-fit waste); the full-scale reduction
+	// is validated by the Figure 16 experiment (see EXPERIMENTS.md). Here we
+	// guard that running FFCCD never makes fragmentation materially worse.
+	if withGC > base+0.05 {
+		t.Errorf("FFCCD fragR %.2f materially worse than baseline %.2f", withGC, base)
+	}
+}
+
+func TestRedisSTWPausesVisibleInTail(t *testing.T) {
+	p, ctx := setup(t)
+	store, _ := kv.NewEcho(ctx, p, 2048)
+	opt := core.DefaultOptions()
+	opt.Scheme = core.SchemeEspresso
+	opt.TriggerRatio = 1.05
+	opt.TargetRatio = 1.02
+	eng := core.NewEngine(p, opt)
+	defer eng.Close()
+	stwCtx := sim.NewCtx(p.Config())
+	res, err := redisws.Run(ctx, p, store, smallCfg(), func(op int) uint64 {
+		if op%400 == 399 {
+			pause, _ := eng.RunCycleSTW(stwCtx)
+			return pause
+		}
+		return 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := stats.Percentile(res.Latencies, 50)
+	p999 := stats.Percentile(res.Latencies, 99.9)
+	if p999 < 10*p50 {
+		t.Errorf("STW pauses not visible in tail: p50=%.0f p99.9=%.0f", p50, p999)
+	}
+}

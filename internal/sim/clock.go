@@ -1,0 +1,135 @@
+package sim
+
+import "fmt"
+
+// Category attributes simulated cycles to a phase of execution so that the
+// defragmentation time breakdowns (Fig. 5, 14, 15) can be reconstructed.
+type Category int
+
+const (
+	// CatApp is application work: loads, stores, allocation.
+	CatApp Category = iota
+	// CatMark is the stop-the-world marking phase.
+	CatMark
+	// CatSummary is the summary phase: page ranking, PMFT construction.
+	CatSummary
+	// CatCopy is object movement plus the persistence operations that guard
+	// it (memcpy, clwb, sfence, relocate) — the "data copy" slice.
+	CatCopy
+	// CatCheckLookup is the read-barrier relocation-page check and forwarding
+	// table lookup — the "check & lookup" slice.
+	CatCheckLookup
+	// CatGCMisc is other defragmentation work: bitmap upkeep, page release,
+	// pacing, terminate.
+	CatGCMisc
+	// CatRecovery is post-crash recovery work.
+	CatRecovery
+
+	numCategories
+)
+
+// NumCategories is the number of cycle-attribution categories.
+const NumCategories = int(numCategories)
+
+var categoryNames = [...]string{"app", "mark", "summary", "copy", "checklookup", "gcmisc", "recovery"}
+
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Clock accumulates simulated cycles per category. A Clock is owned by a
+// single thread of execution (goroutine) and is not safe for concurrent use;
+// use Stats to merge clocks from multiple threads.
+type Clock struct {
+	cycles [numCategories]uint64
+}
+
+// NewClock returns a zeroed clock.
+func NewClock() *Clock { return &Clock{} }
+
+// Add charges n cycles to category cat.
+func (c *Clock) Add(cat Category, n uint64) { c.cycles[cat] += n }
+
+// Cycles returns the cycles charged to cat.
+func (c *Clock) Cycles(cat Category) uint64 { return c.cycles[cat] }
+
+// Total returns cycles across all categories.
+func (c *Clock) Total() uint64 {
+	var t uint64
+	for _, v := range c.cycles {
+		t += v
+	}
+	return t
+}
+
+// GCTotal returns cycles attributed to defragmentation (everything except
+// application and recovery work).
+func (c *Clock) GCTotal() uint64 {
+	return c.cycles[CatMark] + c.cycles[CatSummary] + c.cycles[CatCopy] +
+		c.cycles[CatCheckLookup] + c.cycles[CatGCMisc]
+}
+
+// Merge adds other's cycles into c.
+func (c *Clock) Merge(other *Clock) {
+	for i := range c.cycles {
+		c.cycles[i] += other.cycles[i]
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Clock) Reset() { c.cycles = [numCategories]uint64{} }
+
+// Snapshot returns a copy of the per-category counters.
+func (c *Clock) Snapshot() [NumCategories]uint64 {
+	var out [NumCategories]uint64
+	copy(out[:], c.cycles[:])
+	return out
+}
+
+// Ctx is the per-thread simulation context threaded through every simulated
+// memory operation: a clock to charge, the category to attribute to, and the
+// thread's private TLB state. Ctx values are cheap to copy; WithCat returns a
+// derived context charging a different category to the same clock and TLB.
+type Ctx struct {
+	Clock *Clock
+	TLB   *TLB
+	Cat   Category
+
+	// PendingFlushes counts clwbs issued by this thread since its last
+	// sfence; the device uses it to decide whether a fence stalls.
+	PendingFlushes int
+
+	// HW carries per-thread (per-core) hardware model state such as the
+	// checklookup unit, opaque to this package.
+	HW any
+}
+
+// NewCtx returns a fresh per-thread context with its own clock and TLB.
+func NewCtx(cfg *Config) *Ctx {
+	return &Ctx{Clock: NewClock(), TLB: NewTLB(cfg), Cat: CatApp}
+}
+
+// Charge adds n cycles to the context's current category.
+func (x *Ctx) Charge(n uint64) {
+	if x.Clock != nil {
+		x.Clock.Add(x.Cat, n)
+	}
+}
+
+// ChargeCat adds n cycles to an explicit category.
+func (x *Ctx) ChargeCat(cat Category, n uint64) {
+	if x.Clock != nil {
+		x.Clock.Add(cat, n)
+	}
+}
+
+// WithCat returns a copy of the context attributing to cat. The clock and TLB
+// are shared with the receiver.
+func (x *Ctx) WithCat(cat Category) *Ctx {
+	c := *x
+	c.Cat = cat
+	return &c
+}

@@ -1,0 +1,101 @@
+// Package sim provides the cycle-accounting cost model and functional TLB
+// hierarchy used to evaluate FFCCD. All latencies default to Table 2 of the
+// paper (Sniper simulation parameters). The model is analytical rather than
+// cycle-accurate: every simulated memory operation charges the corresponding
+// latency to a per-thread Clock, attributed to a Category so that the
+// phase-breakdown figures (Fig. 5, 14, 15) can be regenerated.
+package sim
+
+// Config holds the machine parameters from Table 2 of the paper plus the
+// FFCCD structure latencies. All values are in processor cycles at 2.6 GHz.
+type Config struct {
+	// Core cache latencies.
+	L1Latency uint64 // L1D access time (4 cycles)
+	L2Latency uint64 // L2 access time (25 cycles)
+
+	// Memory latencies.
+	DRAMLatency    uint64 // 120 cycles
+	PMReadLatency  uint64 // 360 cycles
+	PMWriteLatency uint64 // 360 cycles (symmetric latency; bandwidth asymmetry is modelled separately)
+	WPQLatency     uint64 // 30 cycles to insert into / drain the write pending queue
+
+	// TLB hierarchy.
+	TLB1Latency    uint64 // 1 cycle L1 TLB access
+	TLB2Latency    uint64 // 4 cycles L2 TLB access
+	TLBMissPenalty uint64 // 60 cycles 2MB (and 4KB) TLB miss penalty
+	// TLBWalkPenaltyExtra adds to every L2 TLB miss, modelling page-table
+	// walks that land in persistent memory (0 keeps the pure Table 2
+	// model; the Figure 1 motivation experiment sets it to the PM read
+	// latency — see EXPERIMENTS.md).
+	TLBWalkPenaltyExtra uint64
+	L1TLB4KEntries      int // 64 entries, 4-way
+	L1TLB4KWays         int
+	L1TLB2MEntries      int // 32 entries, 4-way
+	L1TLB2MWays         int
+	L2TLBEntries        int // 1536 entries, 6-way
+	L2TLBWays           int
+
+	// FFCCD architecture support (Table 2, bottom block).
+	PMFTLBEntries     int    // 16
+	RBBEntries        int    // 8
+	BloomFilterBytes  int    // 1024
+	BloomFilters      int    // 8 in-memory bloom filters
+	BloomMissLatency  uint64 // 120 cycles (fetch filter from memory)
+	BloomCheckLatency uint64 // 2 cycles
+	PMFTLBLatency     uint64 // 4 cycles
+	RBBLatency        uint64 // 30 cycles
+
+	// Simulated shared cache geometry (persistence-relevant cache model).
+	CacheBytes    int // 3 MB L2
+	CacheWays     int // 16
+	CacheLineSize int // 64
+
+	// Write-bandwidth pressure: extra cycles charged per PM line write beyond
+	// latency, reflecting the 4 GB/s PM write vs 24 GB/s DRAM bandwidth gap.
+	PMWriteBandwidthPenalty uint64
+}
+
+// DefaultConfig returns the Table 2 parameters.
+func DefaultConfig() Config {
+	return Config{
+		L1Latency:      4,
+		L2Latency:      25,
+		DRAMLatency:    120,
+		PMReadLatency:  360,
+		PMWriteLatency: 360,
+		WPQLatency:     30,
+
+		TLB1Latency:    1,
+		TLB2Latency:    4,
+		TLBMissPenalty: 60,
+		L1TLB4KEntries: 64,
+		L1TLB4KWays:    4,
+		L1TLB2MEntries: 32,
+		L1TLB2MWays:    4,
+		L2TLBEntries:   1536,
+		L2TLBWays:      6,
+
+		PMFTLBEntries:     16,
+		RBBEntries:        8,
+		BloomFilterBytes:  1024,
+		BloomFilters:      8,
+		BloomMissLatency:  120,
+		BloomCheckLatency: 2,
+		PMFTLBLatency:     4,
+		RBBLatency:        30,
+
+		CacheBytes:    3 << 20,
+		CacheWays:     16,
+		CacheLineSize: 64,
+
+		PMWriteBandwidthPenalty: 120, // 24/4 GB/s ratio spread over line writes
+	}
+}
+
+// CyclesPerSecond is the simulated core frequency (Table 2: 2.6 GHz).
+const CyclesPerSecond = 2_600_000_000
+
+// CyclesToMillis converts simulated cycles to milliseconds of simulated time.
+func CyclesToMillis(c uint64) float64 {
+	return float64(c) / (CyclesPerSecond / 1000)
+}

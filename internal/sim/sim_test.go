@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.DRAMLatency != 120 {
+		t.Errorf("DRAM latency = %d, want 120", cfg.DRAMLatency)
+	}
+	if cfg.PMReadLatency != 360 || cfg.PMWriteLatency != 360 {
+		t.Errorf("PM latency = %d/%d, want 360", cfg.PMReadLatency, cfg.PMWriteLatency)
+	}
+	if cfg.WPQLatency != 30 {
+		t.Errorf("WPQ latency = %d, want 30", cfg.WPQLatency)
+	}
+	if cfg.PMFTLBEntries != 16 || cfg.RBBEntries != 8 || cfg.BloomFilterBytes != 1024 {
+		t.Errorf("FFCCD structure sizes wrong: %d/%d/%d", cfg.PMFTLBEntries, cfg.RBBEntries, cfg.BloomFilterBytes)
+	}
+	if cfg.TLBMissPenalty != 60 || cfg.TLB1Latency != 1 || cfg.TLB2Latency != 4 {
+		t.Errorf("TLB latencies wrong")
+	}
+}
+
+func TestClockAttribution(t *testing.T) {
+	c := NewClock()
+	c.Add(CatApp, 100)
+	c.Add(CatMark, 10)
+	c.Add(CatCopy, 20)
+	c.Add(CatCheckLookup, 5)
+	if got := c.Cycles(CatApp); got != 100 {
+		t.Errorf("app cycles = %d, want 100", got)
+	}
+	if got := c.Total(); got != 135 {
+		t.Errorf("total = %d, want 135", got)
+	}
+	if got := c.GCTotal(); got != 35 {
+		t.Errorf("gc total = %d, want 35", got)
+	}
+}
+
+func TestClockMerge(t *testing.T) {
+	a, b := NewClock(), NewClock()
+	a.Add(CatApp, 7)
+	b.Add(CatApp, 3)
+	b.Add(CatRecovery, 11)
+	a.Merge(b)
+	if a.Cycles(CatApp) != 10 || a.Cycles(CatRecovery) != 11 {
+		t.Errorf("merge: got %d app, %d recovery", a.Cycles(CatApp), a.Cycles(CatRecovery))
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Errorf("reset: total = %d", a.Total())
+	}
+}
+
+func TestCtxWithCat(t *testing.T) {
+	cfg := DefaultConfig()
+	ctx := NewCtx(&cfg)
+	ctx.Charge(5)
+	gc := ctx.WithCat(CatCopy)
+	gc.Charge(9)
+	if ctx.Clock.Cycles(CatApp) != 5 || ctx.Clock.Cycles(CatCopy) != 9 {
+		t.Errorf("WithCat must share the clock: app=%d copy=%d",
+			ctx.Clock.Cycles(CatApp), ctx.Clock.Cycles(CatCopy))
+	}
+	if gc.TLB != ctx.TLB {
+		t.Error("WithCat must share the TLB")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatApp.String() != "app" || CatCheckLookup.String() != "checklookup" {
+		t.Errorf("category names wrong: %s %s", CatApp, CatCheckLookup)
+	}
+	if Category(99).String() != "Category(99)" {
+		t.Errorf("out-of-range category: %s", Category(99))
+	}
+}
+
+func TestTLBHitAfterMiss(t *testing.T) {
+	cfg := DefaultConfig()
+	tlb := NewTLB(&cfg)
+	va := uint64(0x12345000)
+	first := tlb.Access(va, 12)
+	want := cfg.TLB1Latency + cfg.TLB2Latency + cfg.TLBMissPenalty
+	if first != want {
+		t.Errorf("cold access = %d cycles, want %d", first, want)
+	}
+	second := tlb.Access(va, 12)
+	if second != cfg.TLB1Latency {
+		t.Errorf("warm access = %d cycles, want %d", second, cfg.TLB1Latency)
+	}
+	// Same page, different offset: still a hit.
+	third := tlb.Access(va+0xff0, 12)
+	if third != cfg.TLB1Latency {
+		t.Errorf("same-page access = %d cycles, want %d", third, cfg.TLB1Latency)
+	}
+}
+
+func TestTLBHugePagesSeparateStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	tlb := NewTLB(&cfg)
+	tlb.Access(0x40000000, 21)
+	if got := tlb.Access(0x40000000+1<<20, 21); got != cfg.TLB1Latency {
+		t.Errorf("2MB same-page access = %d, want L1 hit", got)
+	}
+	if tlb.L1Misses != 1 {
+		t.Errorf("L1 misses = %d, want 1", tlb.L1Misses)
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	tlb := NewTLB(&cfg)
+	// Touch far more 4K pages than L2 TLB capacity; early pages must miss again.
+	n := cfg.L2TLBEntries * 4
+	for i := 0; i < n; i++ {
+		tlb.Access(uint64(i)<<12, 12)
+	}
+	missesBefore := tlb.L2Misses
+	tlb.Access(0, 12)
+	if tlb.L2Misses == missesBefore {
+		t.Error("expected evicted page to miss in L2 TLB")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	cfg := DefaultConfig()
+	tlb := NewTLB(&cfg)
+	tlb.Access(0x1000, 12)
+	tlb.Flush()
+	if got := tlb.Access(0x1000, 12); got == cfg.TLB1Latency {
+		t.Error("post-flush access should miss")
+	}
+}
+
+func TestTLBMoreDistinctPagesMoreCycles(t *testing.T) {
+	// The fragmentation→slowdown mechanism: the same number of accesses over
+	// more distinct pages must cost more cycles.
+	cfg := DefaultConfig()
+	cost := func(pages int) uint64 {
+		tlb := NewTLB(&cfg)
+		var total uint64
+		for i := 0; i < 20000; i++ {
+			total += tlb.Access(uint64(i%pages)<<12, 12)
+		}
+		return total
+	}
+	compact, sparse := cost(32), cost(8192)
+	if sparse <= compact {
+		t.Errorf("sparse footprint (%d cyc) should cost more than compact (%d cyc)", sparse, compact)
+	}
+}
+
+func TestSetAssocProperty(t *testing.T) {
+	// Property: immediately after lookup(tag), contains(tag) is true.
+	f := func(tags []uint64) bool {
+		s := newSetAssoc(64, 4)
+		for _, tag := range tags {
+			if tag == 0 {
+				tag = 1
+			}
+			s.lookup(tag)
+			if !s.contains(tag) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesToMillis(t *testing.T) {
+	if got := CyclesToMillis(CyclesPerSecond); got != 1000 {
+		t.Errorf("1s of cycles = %v ms, want 1000", got)
+	}
+}
+
+func TestTLBWalkPenaltyExtra(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLBWalkPenaltyExtra = cfg.PMReadLatency
+	tlb := NewTLB(&cfg)
+	cold := tlb.Access(0x7000000, 12)
+	want := cfg.TLB1Latency + cfg.TLB2Latency + cfg.TLBMissPenalty + cfg.PMReadLatency
+	if cold != want {
+		t.Errorf("cold access with PM page walk = %d, want %d", cold, want)
+	}
+	if warm := tlb.Access(0x7000000, 12); warm != cfg.TLB1Latency {
+		t.Errorf("warm access = %d", warm)
+	}
+}
+
+func TestChargeCatIndependentOfCurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	ctx := NewCtx(&cfg)
+	ctx.Cat = CatApp
+	ctx.ChargeCat(CatRecovery, 42)
+	if ctx.Clock.Cycles(CatRecovery) != 42 || ctx.Clock.Cycles(CatApp) != 0 {
+		t.Error("ChargeCat attributed to the wrong category")
+	}
+}
+
+func TestNilClockChargeSafe(t *testing.T) {
+	ctx := &Ctx{} // no clock, no TLB
+	ctx.Charge(100)
+	ctx.ChargeCat(CatMark, 100) // must not panic
+}

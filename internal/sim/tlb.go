@@ -1,0 +1,130 @@
+package sim
+
+// TLB models the per-core translation hierarchy from Table 2: a split L1
+// (separate 4 KB and 2 MB structures) backed by a unified L2. It is a
+// functional model — it tracks which virtual page numbers are resident and
+// charges the configured hit/miss latencies. Fragmentation shows up here: a
+// bloated footprint touches more pages, thrashing the TLB exactly as the
+// paper's Figure 1 throughput decline describes.
+//
+// A TLB belongs to one simulated hardware thread and is not safe for
+// concurrent use.
+type TLB struct {
+	cfg *Config
+
+	l14k setAssoc // 4 KB pages
+	l12m setAssoc // 2 MB pages
+	l2   setAssoc // unified
+
+	// Counters for reporting.
+	Accesses uint64
+	L1Misses uint64
+	L2Misses uint64
+}
+
+// setAssoc is a small set-associative array of tags with round-robin-ish LRU.
+type setAssoc struct {
+	sets int
+	ways int
+	tags []uint64 // sets*ways entries; 0 means invalid (VPN 0 is never used)
+	age  []uint32
+	tick uint32
+}
+
+func newSetAssoc(entries, ways int) setAssoc {
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return setAssoc{
+		sets: sets,
+		ways: ways,
+		tags: make([]uint64, sets*ways),
+		age:  make([]uint32, sets*ways),
+	}
+}
+
+// lookup probes for tag; on miss it inserts tag, evicting the LRU way.
+// Returns true on hit.
+func (s *setAssoc) lookup(tag uint64) bool {
+	s.tick++
+	set := int(tag % uint64(s.sets))
+	base := set * s.ways
+	victim := base
+	oldest := s.age[base]
+	for i := 0; i < s.ways; i++ {
+		idx := base + i
+		if s.tags[idx] == tag {
+			s.age[idx] = s.tick
+			return true
+		}
+		if s.age[idx] < oldest {
+			oldest = s.age[idx]
+			victim = idx
+		}
+	}
+	s.tags[victim] = tag
+	s.age[victim] = s.tick
+	return false
+}
+
+// contains probes without inserting or touching LRU state.
+func (s *setAssoc) contains(tag uint64) bool {
+	set := int(tag % uint64(s.sets))
+	base := set * s.ways
+	for i := 0; i < s.ways; i++ {
+		if s.tags[base+i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// flush invalidates all entries.
+func (s *setAssoc) flush() {
+	for i := range s.tags {
+		s.tags[i] = 0
+		s.age[i] = 0
+	}
+}
+
+// NewTLB builds the Table 2 TLB hierarchy.
+func NewTLB(cfg *Config) *TLB {
+	return &TLB{
+		cfg:  cfg,
+		l14k: newSetAssoc(cfg.L1TLB4KEntries, cfg.L1TLB4KWays),
+		l12m: newSetAssoc(cfg.L1TLB2MEntries, cfg.L1TLB2MWays),
+		l2:   newSetAssoc(cfg.L2TLBEntries, cfg.L2TLBWays),
+	}
+}
+
+// Access translates virtual address va under the given page-size shift
+// (12 for 4 KB pages, 21 for 2 MB pages) and returns the cycles charged.
+func (t *TLB) Access(va uint64, pageShift uint) uint64 {
+	t.Accesses++
+	// Tags must be nonzero; VPN 0 would alias the invalid marker, so bias by 1.
+	vpn := (va >> pageShift) + 1
+	cycles := t.cfg.TLB1Latency
+	l1 := &t.l14k
+	if pageShift >= 21 {
+		l1 = &t.l12m
+	}
+	if l1.lookup(vpn) {
+		return cycles
+	}
+	t.L1Misses++
+	cycles += t.cfg.TLB2Latency
+	if t.l2.lookup(vpn) {
+		return cycles
+	}
+	t.L2Misses++
+	cycles += t.cfg.TLBMissPenalty + t.cfg.TLBWalkPenaltyExtra
+	return cycles
+}
+
+// Flush empties the whole hierarchy (e.g. on a simulated crash/restart).
+func (t *TLB) Flush() {
+	t.l14k.flush()
+	t.l12m.flush()
+	t.l2.flush()
+}

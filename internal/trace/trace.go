@@ -1,0 +1,192 @@
+// Package trace records and replays key-value operation streams — the
+// WHISPER-style trace methodology the paper's workloads descend from. A
+// trace captures (op, key, value-size) tuples in a compact binary format;
+// replaying one against any ds.Store reproduces an identical allocation and
+// fragmentation history, which makes cross-structure and cross-scheme
+// comparisons exact rather than statistically similar.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ffccd/internal/ds"
+	"ffccd/internal/sim"
+)
+
+// Op is one traced operation kind.
+type Op uint8
+
+const (
+	// OpInsert inserts/overwrites a key with a value of Size bytes.
+	OpInsert Op = iota
+	// OpDelete removes a key.
+	OpDelete
+	// OpGet reads a key.
+	OpGet
+)
+
+// Record is one traced operation.
+type Record struct {
+	Op   Op
+	Key  uint64
+	Size uint32 // value size for OpInsert
+}
+
+// Trace is an in-memory operation stream.
+type Trace struct {
+	Records []Record
+}
+
+// magic identifies the binary format.
+const magic = 0x46464344_54524331 // "FFCDTRC1"
+
+// Write serialises the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], magic)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(t.Records)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [13]byte
+	for _, r := range t.Records {
+		rec[0] = byte(r.Op)
+		binary.LittleEndian.PutUint64(rec[1:9], r.Key)
+		binary.LittleEndian.PutUint32(rec[9:13], r.Size)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(hdr[0:8]) != magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	t := &Trace{Records: make([]Record, 0, n)}
+	var rec [13]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		t.Records = append(t.Records, Record{
+			Op:   Op(rec[0]),
+			Key:  binary.LittleEndian.Uint64(rec[1:9]),
+			Size: binary.LittleEndian.Uint32(rec[9:13]),
+		})
+	}
+	return t, nil
+}
+
+// GenerateConfig parameterises synthetic trace generation.
+type GenerateConfig struct {
+	Ops       int
+	KeySpace  uint64
+	MinVal    int
+	MaxVal    int
+	InsertPct int // percentage of operations that insert
+	DeletePct int // percentage that delete; the rest are gets
+	Seed      int64
+}
+
+// Generate builds a synthetic trace with the given mix.
+func Generate(cfg GenerateConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{Records: make([]Record, 0, cfg.Ops)}
+	span := cfg.MaxVal - cfg.MinVal + 1
+	if span < 1 {
+		span = 1
+	}
+	for i := 0; i < cfg.Ops; i++ {
+		key := rng.Uint64() % cfg.KeySpace
+		p := rng.Intn(100)
+		switch {
+		case p < cfg.InsertPct:
+			t.Records = append(t.Records, Record{OpInsert, key, uint32(cfg.MinVal + rng.Intn(span))})
+		case p < cfg.InsertPct+cfg.DeletePct:
+			t.Records = append(t.Records, Record{OpDelete, key, 0})
+		default:
+			t.Records = append(t.Records, Record{OpGet, key, 0})
+		}
+	}
+	return t
+}
+
+// ReplayStats summarise a replay.
+type ReplayStats struct {
+	Inserts, Deletes, Gets int
+	Cycles                 uint64
+}
+
+// Replay runs the trace against a store. Values are deterministic functions
+// of (key, size), so two replays of the same trace build byte-identical
+// stores.
+func Replay(ctx *sim.Ctx, s ds.Store, t *Trace) (ReplayStats, error) {
+	var st ReplayStats
+	start := ctx.Clock.Total()
+	for i, r := range t.Records {
+		switch r.Op {
+		case OpInsert:
+			if err := s.Insert(ctx, r.Key, ValueFor(r.Key, int(r.Size))); err != nil {
+				return st, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			st.Inserts++
+		case OpDelete:
+			if _, err := s.Delete(ctx, r.Key); err != nil {
+				return st, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+			st.Deletes++
+		case OpGet:
+			s.Get(ctx, r.Key)
+			st.Gets++
+		default:
+			return st, fmt.Errorf("trace: record %d has unknown op %d", i, r.Op)
+		}
+	}
+	st.Cycles = ctx.Clock.Total() - start
+	return st, nil
+}
+
+// ValueFor is the deterministic value a replayed insert writes.
+func ValueFor(key uint64, size int) []byte {
+	if size < 1 {
+		size = 1
+	}
+	b := make([]byte, size)
+	x := key*0x9E3779B97F4A7C15 + 1
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
+// Model computes the expected final contents of a store after replaying t —
+// the reference for post-replay (or post-crash) verification.
+func (t *Trace) Model() map[uint64][]byte {
+	m := map[uint64][]byte{}
+	for _, r := range t.Records {
+		switch r.Op {
+		case OpInsert:
+			m[r.Key] = ValueFor(r.Key, int(r.Size))
+		case OpDelete:
+			delete(m, r.Key)
+		}
+	}
+	return m
+}

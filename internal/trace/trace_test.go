@@ -1,0 +1,302 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ffccd/internal/checker"
+	"ffccd/internal/core"
+	"ffccd/internal/ds"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+	"ffccd/internal/trace"
+)
+
+func newStore(t *testing.T, name string) (*pmop.Pool, *sim.Ctx, ds.Store) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	rt := pmop.NewRuntime(&cfg, 64<<20)
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	p, err := rt.Create("trace", 32<<20, 12, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewCtx(&cfg)
+	var s ds.Store
+	switch name {
+	case "LL":
+		s, err = ds.NewList(ctx, p)
+	case "BT":
+		s, err = ds.NewBPTree(ctx, p)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ctx, s
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tr := trace.Generate(trace.GenerateConfig{
+		Ops: 1000, KeySpace: 200, MinVal: 16, MaxVal: 128,
+		InsertPct: 60, DeletePct: 20, Seed: 1,
+	})
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(tr.Records) {
+		t.Fatalf("records %d vs %d", len(back.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if back.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Read(bytes.NewReader([]byte("not a trace at all!!"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReplayMatchesModel(t *testing.T) {
+	tr := trace.Generate(trace.GenerateConfig{
+		Ops: 3000, KeySpace: 400, MinVal: 16, MaxVal: 200,
+		InsertPct: 55, DeletePct: 25, Seed: 9,
+	})
+	_, ctx, s := newStore(t, "LL")
+	st, err := trace.Replay(ctx, s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts == 0 || st.Deletes == 0 || st.Gets == 0 || st.Cycles == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	model := tr.Model()
+	if err := checker.CheckStore(ctx, s, model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayIsDeterministicAcrossStores(t *testing.T) {
+	// The same trace replayed on two structures yields the same key→value
+	// mapping (fragmentation histories differ, contents must not).
+	tr := trace.Generate(trace.GenerateConfig{
+		Ops: 2000, KeySpace: 300, MinVal: 16, MaxVal: 100,
+		InsertPct: 60, DeletePct: 20, Seed: 4,
+	})
+	_, ctx1, s1 := newStore(t, "LL")
+	_, ctx2, s2 := newStore(t, "BT")
+	if _, err := trace.Replay(ctx1, s1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Replay(ctx2, s2, tr); err != nil {
+		t.Fatal(err)
+	}
+	model := tr.Model()
+	if err := checker.CheckStore(ctx1, s1, model); err != nil {
+		t.Fatalf("LL: %v", err)
+	}
+	if err := checker.CheckStore(ctx2, s2, model); err != nil {
+		t.Fatalf("BT: %v", err)
+	}
+}
+
+func TestReplayWithDefragAndCrash(t *testing.T) {
+	// Replay half a trace, crash mid-defragmentation, recover, replay the
+	// rest, verify against the full model — the trace makes the whole
+	// scenario exactly reproducible.
+	tr := trace.Generate(trace.GenerateConfig{
+		Ops: 2400, KeySpace: 350, MinVal: 16, MaxVal: 160,
+		InsertPct: 55, DeletePct: 25, Seed: 12,
+	})
+	half := &trace.Trace{Records: tr.Records[:1200]}
+	rest := &trace.Trace{Records: tr.Records[1200:]}
+
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = 256 * 1024
+	rt := pmop.NewRuntime(&cfg, 64<<20)
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	p, _ := rt.Create("trace", 32<<20, 12, reg)
+	ctx := sim.NewCtx(&cfg)
+	s, _ := ds.NewList(ctx, p)
+	if _, err := trace.Replay(ctx, s, half); err != nil {
+		t.Fatal(err)
+	}
+	p.Device().FlushAll(ctx)
+
+	opt := core.DefaultOptions()
+	opt.Scheme = core.SchemeFFCCD
+	opt.TriggerRatio, opt.TargetRatio = 1.02, 1.01
+	eng := core.NewEngine(p, opt)
+	if eng.BeginCycle(ctx) {
+		eng.StepCompaction(ctx, 150)
+	}
+	rt.Device().Crash()
+	if eng.RBB() != nil {
+		eng.RBB().PowerLossFlush()
+	}
+
+	rt2, err := pmop.Attach(&cfg, rt.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := pmop.NewRegistry()
+	ds.RegisterTypes(reg2)
+	p2, err := rt2.Open("trace", reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := core.Recover(ctx, p2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	s2, err := ds.NewList(ctx, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Replay(ctx, s2, rest); err != nil {
+		t.Fatal(err)
+	}
+	if err := checker.CheckStore(ctx, s2, tr.Model()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueForDeterministicAndSized(t *testing.T) {
+	a := trace.ValueFor(42, 100)
+	b := trace.ValueFor(42, 100)
+	if len(a) != 100 || !bytes.Equal(a, b) {
+		t.Fatal("ValueFor must be a pure function of (key, size)")
+	}
+	if !bytes.Equal(trace.ValueFor(0, 0), trace.ValueFor(0, 1)) {
+		t.Fatal("size < 1 must clamp to 1 byte")
+	}
+	if bytes.Equal(trace.ValueFor(1, 64), trace.ValueFor(2, 64)) {
+		t.Fatal("different keys should produce different values")
+	}
+}
+
+func TestGenerateMixAndDeterminism(t *testing.T) {
+	cfg := trace.GenerateConfig{
+		Ops: 20000, KeySpace: 5000, MinVal: 16, MaxVal: 64,
+		InsertPct: 50, DeletePct: 30, Seed: 3,
+	}
+	tr := trace.Generate(cfg)
+	if len(tr.Records) != cfg.Ops {
+		t.Fatalf("generated %d records, want %d", len(tr.Records), cfg.Ops)
+	}
+	var ins, del, get int
+	for _, r := range tr.Records {
+		switch r.Op {
+		case trace.OpInsert:
+			ins++
+			if int(r.Size) < cfg.MinVal || int(r.Size) > cfg.MaxVal {
+				t.Fatalf("insert size %d outside [%d,%d]", r.Size, cfg.MinVal, cfg.MaxVal)
+			}
+		case trace.OpDelete:
+			del++
+		default:
+			get++
+		}
+		if r.Key >= cfg.KeySpace {
+			t.Fatalf("key %d outside key space %d", r.Key, cfg.KeySpace)
+		}
+	}
+	// The mix must be within a few points of the requested percentages.
+	near := func(got, wantPct int) bool {
+		want := cfg.Ops * wantPct / 100
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < cfg.Ops/50 // 2% tolerance
+	}
+	if !near(ins, 50) || !near(del, 30) || !near(get, 20) {
+		t.Fatalf("mix %d/%d/%d far from 50/30/20 of %d", ins, del, get, cfg.Ops)
+	}
+	// Same seed → identical trace.
+	tr2 := trace.Generate(cfg)
+	for i := range tr.Records {
+		if tr.Records[i] != tr2.Records[i] {
+			t.Fatal("same seed must generate an identical trace")
+		}
+	}
+	// Different seed → different trace.
+	cfg.Seed = 4
+	tr3 := trace.Generate(cfg)
+	same := true
+	for i := range tr.Records {
+		if tr.Records[i] != tr3.Records[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should generate different traces")
+	}
+}
+
+func TestModelInsertThenDelete(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{Op: trace.OpInsert, Key: 1, Size: 8},
+		{Op: trace.OpInsert, Key: 2, Size: 8},
+		{Op: trace.OpDelete, Key: 1},
+		{Op: trace.OpInsert, Key: 2, Size: 16}, // overwrite
+		{Op: trace.OpGet, Key: 2},
+	}}
+	m := tr.Model()
+	if _, ok := m[1]; ok {
+		t.Fatal("deleted key survived in model")
+	}
+	if v, ok := m[2]; !ok || len(v) != 16 {
+		t.Fatalf("overwrite not reflected: %v", v)
+	}
+	if len(m) != 1 {
+		t.Fatalf("model has %d keys, want 1", len(m))
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&trace.Trace{}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 0 {
+		t.Fatalf("empty trace read back %d records", len(back.Records))
+	}
+}
+
+func TestReadRejectsTruncatedStream(t *testing.T) {
+	tr := trace.Generate(trace.GenerateConfig{
+		Ops: 50, KeySpace: 10, MinVal: 8, MaxVal: 8, InsertPct: 100, Seed: 1,
+	})
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7] // mid-record
+	if _, err := trace.Read(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestReplayRejectsUnknownOp(t *testing.T) {
+	_, ctx, s := newStore(t, "LL")
+	bad := &trace.Trace{Records: []trace.Record{{Op: trace.Op(9), Key: 1}}}
+	if _, err := trace.Replay(ctx, s, bad); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Package workload generates the paper's evaluation workloads (§6): each
+// benchmark is initialised with N insertions of 128-byte values, then runs
+// three phases — delete, insert, delete — representing application memory
+// decreasing and increasing stages. Sizes are scaled down from the paper's
+// 5M/4M via the Scale factor so the simulated machine finishes in reasonable
+// time; fragmentation ratios are scale-invariant (see DESIGN.md).
+package workload
+
+import (
+	"math/rand"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/ds"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// Config parameterises a run.
+type Config struct {
+	InitInserts int    // paper: 5,000,000
+	PhaseOps    int    // paper: 4,000,000
+	ValueSize   int    // paper: 128 bytes
+	ValueJitter int    // ± bytes of size variation (string-swap style); 0 = fixed
+	KeyCap      uint64 // >0 bounds the key space (slot-addressed stores)
+	KeyBase     uint64 // added to every key: disjoint ranges for threads
+	Seed        int64
+	// SampleEvery controls footprint sampling (ops between samples).
+	SampleEvery int
+	// PreSample, when set, runs at every sample point before the footprint
+	// is read — the place a harness completes an in-flight defragmentation
+	// epoch so samples see quiesced state.
+	PreSample func()
+	// Maintenance, when set, is invoked at every sample point after the
+	// footprint is read — the place a harness runs/starts synchronous
+	// defragmentation, mirroring the §5 pmalloc/pfree trigger
+	// deterministically.
+	Maintenance func()
+}
+
+// DefaultConfig returns the paper's shape scaled by 1/250 (5M → 20k).
+func DefaultConfig() Config {
+	return Config{
+		InitInserts: 20000,
+		PhaseOps:    16000,
+		ValueSize:   128,
+		Seed:        1,
+		SampleEvery: 500,
+	}
+}
+
+// Scaled returns DefaultConfig with both sizes multiplied by f.
+func Scaled(f float64) Config {
+	c := DefaultConfig()
+	c.InitInserts = int(float64(c.InitInserts) * f)
+	c.PhaseOps = int(float64(c.PhaseOps) * f)
+	return c
+}
+
+// PhaseResult reports one phase of a run.
+type PhaseResult struct {
+	Name         string
+	Ops          int
+	Cycles       uint64 // application cycles spent in the phase
+	AvgFootprint float64
+	AvgLive      float64
+	End          alloc.FragStats
+}
+
+// AvgFragRatio is the phase's mean footprint over mean live size.
+func (r PhaseResult) AvgFragRatio() float64 {
+	if r.AvgLive == 0 {
+		return 0
+	}
+	return r.AvgFootprint / r.AvgLive
+}
+
+// Result is a whole run.
+type Result struct {
+	Phases []PhaseResult
+	// Aggregates over the post-init phases (what Table 3/4 report).
+	AvgFootprint float64
+	AvgLive      float64
+	TotalOps     int
+	TotalCycles  uint64
+}
+
+// AvgFragRatio over the measured phases.
+func (r Result) AvgFragRatio() float64 {
+	if r.AvgLive == 0 {
+		return 0
+	}
+	return r.AvgFootprint / r.AvgLive
+}
+
+// Run drives the §6 workload against a store. The engine (if any) runs via
+// its own triggers; Run only measures.
+func Run(ctx *sim.Ctx, p *pmop.Pool, s ds.Store, cfg Config) (Result, error) {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var live []uint64
+	nextKey := uint64(0)
+	freeKeys := []uint64{}
+
+	takeKey := func() uint64 {
+		if cfg.KeyCap > 0 {
+			if len(freeKeys) > 0 {
+				k := freeKeys[len(freeKeys)-1]
+				freeKeys = freeKeys[:len(freeKeys)-1]
+				return k
+			}
+			k := nextKey % cfg.KeyCap
+			nextKey++
+			return cfg.KeyBase + k
+		}
+		k := nextKey
+		nextKey++
+		return cfg.KeyBase + k
+	}
+	val := func(k uint64) []byte {
+		n := cfg.ValueSize
+		if cfg.ValueJitter > 0 {
+			n += rng.Intn(2*cfg.ValueJitter) - cfg.ValueJitter
+			if n < 8 {
+				n = 8
+			}
+		}
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(k>>uint(8*(i%8))) ^ byte(i)
+		}
+		return b
+	}
+
+	var res Result
+	samples := 0
+	var sumFoot, sumLive float64
+	sample := func() {
+		st := p.Heap().Frag(p.PageShift())
+		sumFoot += float64(st.FootprintBytes)
+		sumLive += float64(st.LiveBytes)
+		samples++
+	}
+
+	phase := func(name string, ops int, body func(i int) error) (PhaseResult, error) {
+		startCycles := ctx.Clock.Total()
+		phSamples := samples
+		phFoot, phLive := sumFoot, sumLive
+		for i := 0; i < ops; i++ {
+			if err := body(i); err != nil {
+				return PhaseResult{}, err
+			}
+			if i%cfg.SampleEvery == 0 {
+				if cfg.PreSample != nil {
+					cfg.PreSample()
+				}
+				sample()
+				if cfg.Maintenance != nil {
+					cfg.Maintenance()
+				}
+			}
+		}
+		sample()
+		n := float64(samples - phSamples)
+		pr := PhaseResult{
+			Name:         name,
+			Ops:          ops,
+			Cycles:       ctx.Clock.Total() - startCycles,
+			AvgFootprint: (sumFoot - phFoot) / n,
+			AvgLive:      (sumLive - phLive) / n,
+			End:          p.Heap().Frag(p.PageShift()),
+		}
+		return pr, nil
+	}
+
+	insertOne := func(int) error {
+		k := takeKey()
+		if err := s.Insert(ctx, k, val(k)); err != nil {
+			return err
+		}
+		live = append(live, k)
+		return nil
+	}
+	deleteOne := func(int) error {
+		if len(live) == 0 {
+			return nil
+		}
+		i := rng.Intn(len(live))
+		k := live[i]
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+		if _, err := s.Delete(ctx, k); err != nil {
+			return err
+		}
+		if cfg.KeyCap > 0 {
+			freeKeys = append(freeKeys, k)
+		}
+		return nil
+	}
+
+	init, err := phase("init", cfg.InitInserts, insertOne)
+	if err != nil {
+		return res, err
+	}
+	res.Phases = append(res.Phases, init)
+
+	del1, err := phase("delete1", cfg.PhaseOps, deleteOne)
+	if err != nil {
+		return res, err
+	}
+	res.Phases = append(res.Phases, del1)
+
+	ins, err := phase("insert", cfg.PhaseOps, insertOne)
+	if err != nil {
+		return res, err
+	}
+	res.Phases = append(res.Phases, ins)
+
+	del2, err := phase("delete2", cfg.PhaseOps, deleteOne)
+	if err != nil {
+		return res, err
+	}
+	res.Phases = append(res.Phases, del2)
+
+	// Aggregate the measured (post-init) phases.
+	var foot, liveB float64
+	for _, ph := range res.Phases[1:] {
+		foot += ph.AvgFootprint
+		liveB += ph.AvgLive
+		res.TotalOps += ph.Ops
+		res.TotalCycles += ph.Cycles
+	}
+	res.AvgFootprint = foot / float64(len(res.Phases)-1)
+	res.AvgLive = liveB / float64(len(res.Phases)-1)
+	return res, nil
+}
