@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench bench-host golden clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the short test suite under the race detector — the CI gate for
+# the concurrent simulated-machine hot path.
+race:
+	$(GO) test -race -short ./...
+
+# check is the full CI target: vet + race-detector short tests + full tests.
+check: vet race test
+
+# bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
+bench:
+	$(GO) test -run XXX -bench . -benchtime=1x ./...
+
+# bench-host produces the machine-readable host-performance record
+# BENCH_1.json (see scripts/bench.sh and README.md).
+bench-host:
+	scripts/bench.sh
+
+# golden re-checks that simulated cycle totals match the committed golden.
+golden:
+	$(GO) test ./internal/experiments/ -run 'TestGoldenCycles|TestCycleDeterminism' -v
+
+clean:
+	rm -f ffccd.test

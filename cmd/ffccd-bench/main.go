@@ -5,13 +5,21 @@
 //
 //	ffccd-bench -experiment all            # everything (slow)
 //	ffccd-bench -experiment table3 -scale 0.004
+//	ffccd-bench -experiment fig5 -parallel 8 -json BENCH.json
 //	ffccd-bench -list
 //
 // Experiments: fig1, fig5, table3, fig14, table4, fig15, fig16, table1,
 // table2, ablation-rbb, ablation-pmft.
+//
+// Every run is hermetic (its own simulated machine), so -parallel only
+// changes host wall-clock — simulated cycle totals are identical at any
+// worker count. -json appends one machine-readable record per experiment
+// (host seconds plus the experiment's simulated-cycle metrics) to a file,
+// for tracking host performance across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +28,29 @@ import (
 	"ffccd/internal/experiments"
 )
 
+// benchRecord is one -json entry: host-side timing plus whatever simulated
+// metrics the experiment exposes. Simulated numbers must be identical across
+// revisions (see the golden test); host_seconds is the number being tracked.
+type benchRecord struct {
+	Experiment  string             `json:"experiment"`
+	Scale       float64            `json:"scale"`
+	Parallel    int                `json:"parallel"`
+	HostSeconds float64            `json:"host_seconds"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or 'all')")
 	scale := flag.Float64("scale", 0.002, "workload scale relative to the paper's 5M-insert setup")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	parallel := flag.Int("parallel", 0, "experiment-driver worker count (0 = GOMAXPROCS or $FFCCD_PARALLEL)")
+	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	flag.Parse()
+
+	if *parallel > 0 {
+		experiments.SetParallelism(*parallel)
+	}
 
 	type exp struct {
 		id  string
@@ -57,6 +82,7 @@ func main() {
 	}
 
 	ran := 0
+	var records []benchRecord
 	for _, e := range all {
 		if *experiment != "all" && *experiment != e.id {
 			continue
@@ -68,7 +94,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (scale %g, %.1fs) ====\n%s\n", e.id, *scale, time.Since(start).Seconds(), out)
+		elapsed := time.Since(start).Seconds()
+		fmt.Printf("==== %s (scale %g, %.1fs) ====\n%s\n", e.id, *scale, elapsed, out)
+		rec := benchRecord{
+			Experiment:  e.id,
+			Scale:       *scale,
+			Parallel:    experiments.Parallelism(),
+			HostSeconds: elapsed,
+		}
+		if m, ok := out.(interface{ Metrics() map[string]float64 }); ok {
+			rec.Metrics = m.Metrics()
+		}
+		records = append(records, rec)
 		if *csvDir != "" {
 			if c, ok := out.(interface{ CSV() string }); ok {
 				path := fmt.Sprintf("%s/%s.csv", *csvDir, e.id)
@@ -83,6 +120,18 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *experiment)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(benchmark records written to %s)\n", *jsonPath)
 	}
 }
 

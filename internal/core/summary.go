@@ -141,13 +141,19 @@ func (e *Engine) summary(ctx *sim.Ctx, live []markObj) *epochState {
 	}
 	maxDest := heap.Frames()
 	freeList := heap.FreeFrames(maxDest)
+	// distinctPages[n] = distinct OS pages among the first n destination
+	// frames (precomputed once; the selection loop queries it per unit).
+	distinctPages := make([]uint64, len(freeList)+1)
+	{
+		seen := make(map[int]struct{}, len(freeList))
+		for i, f := range freeList {
+			seen[f/fpp] = struct{}{}
+			distinctPages[i+1] = uint64(len(seen))
+		}
+	}
 	destPages := func(n int) uint64 {
 		// Footprint the first n destination frames add, in OS pages.
-		seen := map[int]bool{}
-		for _, f := range freeList[:n] {
-			seen[f/fpp] = true
-		}
-		return uint64(len(seen)) << p.PageShift()
+		return distinctPages[n] << p.PageShift()
 	}
 	var selected []pick
 	destUsed, curFree := 0, 0

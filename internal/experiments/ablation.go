@@ -29,7 +29,9 @@ type AblationRBBResult struct{ Rows []AblationRBBRow }
 // counts, reporting the buffer's hit/miss/write-back behaviour.
 func AblationRBB(scale float64, sizes []int) (AblationRBBResult, error) {
 	var res AblationRBBResult
-	for _, entries := range sizes {
+	rows := make([]AblationRBBRow, len(sizes))
+	err := parallelFor(len(sizes), func(i int) error {
+		entries := sizes[i]
 		wl := workload.Scaled(scale / DefaultScale)
 		wl.Seed = 21
 
@@ -40,12 +42,12 @@ func AblationRBB(scale float64, sizes []int) (AblationRBBResult, error) {
 		rt := pmop.NewRuntime(&cfg, poolSizeFor(wl)*2)
 		p, err := rt.Create("ablation", poolSizeFor(wl), 12, reg)
 		if err != nil {
-			return res, err
+			return err
 		}
 		ctx := sim.NewCtx(&cfg)
 		store, err := ds.NewList(ctx, p)
 		if err != nil {
-			return res, err
+			return err
 		}
 		tr, tg := core.NormalParams()
 		eng := core.NewEngine(p, core.Options{Scheme: core.SchemeFFCCD, TriggerRatio: tr, TargetRatio: tg, BatchObjects: 64})
@@ -56,7 +58,7 @@ func AblationRBB(scale float64, sizes []int) (AblationRBBResult, error) {
 			}
 		}
 		if _, err := workload.Run(ctx, p, store, wl); err != nil {
-			return res, err
+			return err
 		}
 		rbb := eng.RBB()
 		row := AblationRBBRow{Entries: entries, GCCycles: gcCtx.Clock.GCTotal()}
@@ -64,8 +66,13 @@ func AblationRBB(scale float64, sizes []int) (AblationRBBResult, error) {
 			row.Hits, row.Misses, row.Writebacks = rbb.Hits, rbb.Misses, rbb.Writebacks
 		}
 		eng.Close()
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -106,13 +113,17 @@ func AblationPMFT(scale float64) (AblationPMFTResult, error) {
 		{"PMFT, software walk (FFCCD)", core.SchemeFFCCD, 6.32},
 		{"PMFT + BFC/PMFTLB (checklookup)", core.SchemeFFCCDCheckLookup, 6.32},
 	}
-	for _, m := range models {
-		spec := Spec{Store: "LL", Threads: 1, Scheme: m.scheme, Scale: scale, PageShift: 12, Seed: 31}
-		spec.Trigger, spec.Target = core.NormalParams()
-		out, err := Run(spec)
-		if err != nil {
-			return res, err
-		}
+	specs := make([]Spec, len(models))
+	for i, m := range models {
+		specs[i] = Spec{Store: "LL", Threads: 1, Scheme: m.scheme, Scale: scale, PageShift: 12, Seed: 31}
+		specs[i].Trigger, specs[i].Target = core.NormalParams()
+	}
+	outs, err := RunSpecs(specs)
+	if err != nil {
+		return res, err
+	}
+	for i, m := range models {
+		out := outs[i]
 		// Normalise check+lookup cycles per application operation.
 		per := float64(out.Cycles[sim.CatCheckLookup]) / float64(out.TotalOps)
 		res.Rows = append(res.Rows, AblationPMFTRow{Model: m.name, CyclesPerCheck: per, SpacePct: m.space})
@@ -156,13 +167,17 @@ func AblationWrites(scale float64) (AblationWritesResult, error) {
 	var res AblationWritesResult
 	schemes := []core.Scheme{core.SchemeNone, core.SchemeEspresso, core.SchemeSFCCD,
 		core.SchemeFFCCD, core.SchemeFFCCDCheckLookup}
-	for _, scheme := range schemes {
-		spec := Spec{Store: "LL", Threads: 1, Scheme: scheme, Scale: scale, PageShift: 12, Seed: 41}
-		spec.Trigger, spec.Target = core.NormalParams()
-		out, err := Run(spec)
-		if err != nil {
-			return res, err
-		}
+	specs := make([]Spec, len(schemes))
+	for i, scheme := range schemes {
+		specs[i] = Spec{Store: "LL", Threads: 1, Scheme: scheme, Scale: scale, PageShift: 12, Seed: 41}
+		specs[i].Trigger, specs[i].Target = core.NormalParams()
+	}
+	outs, err := RunSpecs(specs)
+	if err != nil {
+		return res, err
+	}
+	for i, scheme := range schemes {
+		out := outs[i]
 		row := AblationWritesRow{
 			Scheme:       scheme,
 			MediaWrites:  out.Device.MediaWrites,

@@ -26,6 +26,9 @@ type BreakdownRow struct {
 	NormalizedTime float64
 	// FragReduction is the fragmentation reduction (eq. 1) vs baseline.
 	FragReduction float64
+	// SimCycles is the run's total simulated cycles (app + GC), for the
+	// machine-readable benchmark record.
+	SimCycles uint64
 }
 
 // BreakdownResult is a whole figure.
@@ -39,41 +42,60 @@ var allSchemes = []core.Scheme{
 	core.SchemeEspresso, core.SchemeSFCCD, core.SchemeFFCCD, core.SchemeFFCCDCheckLookup,
 }
 
-// runBreakdown measures one store under every scheme against the no-GC
-// baseline.
-func runBreakdown(store string, threads int, scale float64, schemes []core.Scheme) ([]BreakdownRow, error) {
-	base := Spec{
-		Store: store, Threads: threads, Scheme: core.SchemeNone,
-		Scale: scale, PageShift: 12, Seed: 11,
+// breakdownCell is one (store, threads) column of a breakdown figure.
+type breakdownCell struct {
+	store   string
+	threads int
+}
+
+// runBreakdowns measures every cell under every scheme against its no-GC
+// baseline. All runs of the whole figure — one baseline plus one run per
+// scheme for each cell — are fanned out together through RunSpecs, so a
+// figure's wall-clock is bounded by its slowest single run, not the sum.
+func runBreakdowns(cells []breakdownCell, scale float64, schemes []core.Scheme) ([]BreakdownRow, error) {
+	specs := make([]Spec, 0, len(cells)*(1+len(schemes)))
+	for _, cell := range cells {
+		base := Spec{
+			Store: cell.store, Threads: cell.threads, Scheme: core.SchemeNone,
+			Scale: scale, PageShift: 12, Seed: 11,
+		}
+		specs = append(specs, base)
+		for _, scheme := range schemes {
+			spec := base
+			spec.Scheme = scheme
+			spec.Trigger, spec.Target = core.NormalParams()
+			specs = append(specs, spec)
+		}
 	}
-	baseOut, err := Run(base)
+	outs, err := RunSpecs(specs)
 	if err != nil {
 		return nil, err
 	}
-	baseline := float64(baseOut.AppCycles())
 
 	var rows []BreakdownRow
-	for _, scheme := range schemes {
-		spec := base
-		spec.Scheme = scheme
-		spec.Trigger, spec.Target = core.NormalParams()
-		out, err := Run(spec)
-		if err != nil {
-			return nil, err
+	i := 0
+	for _, cell := range cells {
+		baseOut := outs[i]
+		i++
+		baseline := float64(baseOut.AppCycles())
+		for _, scheme := range schemes {
+			out := outs[i]
+			i++
+			row := BreakdownRow{
+				Store:          cell.store,
+				Scheme:         scheme,
+				MarkPct:        pct(out.Cycles[sim.CatMark], baseline),
+				SummaryPct:     pct(out.Cycles[sim.CatSummary], baseline),
+				CopyPct:        pct(out.Cycles[sim.CatCopy], baseline),
+				CheckLookupPct: pct(out.Cycles[sim.CatCheckLookup], baseline),
+				MiscPct:        pct(out.Cycles[sim.CatGCMisc], baseline),
+				NormalizedTime: float64(out.TotalCycles()) / baseline,
+				SimCycles:      out.TotalCycles(),
+			}
+			row.GCPct = row.MarkPct + row.SummaryPct + row.CopyPct + row.CheckLookupPct + row.MiscPct
+			row.FragReduction = fragReduction(baseOut, out)
+			rows = append(rows, row)
 		}
-		row := BreakdownRow{
-			Store:          store,
-			Scheme:         scheme,
-			MarkPct:        pct(out.Cycles[sim.CatMark], baseline),
-			SummaryPct:     pct(out.Cycles[sim.CatSummary], baseline),
-			CopyPct:        pct(out.Cycles[sim.CatCopy], baseline),
-			CheckLookupPct: pct(out.Cycles[sim.CatCheckLookup], baseline),
-			MiscPct:        pct(out.Cycles[sim.CatGCMisc], baseline),
-			NormalizedTime: float64(out.TotalCycles()) / baseline,
-		}
-		row.GCPct = row.MarkPct + row.SummaryPct + row.CopyPct + row.CheckLookupPct + row.MiscPct
-		row.FragReduction = fragReduction(baseOut, out)
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -98,27 +120,32 @@ func fragReduction(base, ours Outcome) float64 {
 // breakdown on the five microbenchmarks.
 func Figure5(scale float64) (BreakdownResult, error) {
 	res := BreakdownResult{Title: "Figure 5 — Espresso (baseline crash-consistent GC) overhead breakdown"}
-	for _, store := range Micros {
-		rows, err := runBreakdown(store, 1, scale, []core.Scheme{core.SchemeEspresso})
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, rows...)
+	rows, err := runBreakdowns(microCells(), scale, []core.Scheme{core.SchemeEspresso})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
+}
+
+// microCells returns the microbenchmark columns (all single-threaded).
+func microCells() []breakdownCell {
+	cells := make([]breakdownCell, len(Micros))
+	for i, store := range Micros {
+		cells[i] = breakdownCell{store: store, threads: 1}
+	}
+	return cells
 }
 
 // Figure14 reproduces Fig. 14: defragmentation time breakdown and
 // normalised execution time for the microbenchmarks under all four schemes.
 func Figure14(scale float64) (BreakdownResult, error) {
 	res := BreakdownResult{Title: "Figure 14 — defragmentation overhead on microbenchmarks"}
-	for _, store := range Micros {
-		rows, err := runBreakdown(store, 1, scale, allSchemes)
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, rows...)
+	rows, err := runBreakdowns(microCells(), scale, allSchemes)
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -126,17 +153,12 @@ func Figure14(scale float64) (BreakdownResult, error) {
 // structures and KV applications.
 func Figure15(scale float64) (BreakdownResult, error) {
 	res := BreakdownResult{Title: "Figure 15 — defragmentation overhead on applications"}
-	apps := []struct {
-		store   string
-		threads int
-	}{{"BzTree", 1}, {"FPTree", 1}, {"Echo", 1}, {"pmemkv", 1}}
-	for _, app := range apps {
-		rows, err := runBreakdown(app.store, app.threads, scale, allSchemes)
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, rows...)
+	cells := []breakdownCell{{"BzTree", 1}, {"FPTree", 1}, {"Echo", 1}, {"pmemkv", 1}}
+	rows, err := runBreakdowns(cells, scale, allSchemes)
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -196,6 +218,27 @@ func (r BreakdownResult) CopyReductionVsEspresso() map[string]map[string]float64
 		}
 	}
 	return out
+}
+
+// Metrics returns the headline numbers plus total simulated cycles, for the
+// machine-readable benchmark record (cmd/ffccd-bench -json).
+func (r BreakdownResult) Metrics() map[string]float64 {
+	var gc, norm float64
+	var cycles uint64
+	for _, row := range r.Rows {
+		gc += row.GCPct
+		norm += row.NormalizedTime
+		cycles += row.SimCycles
+	}
+	n := float64(len(r.Rows))
+	if n == 0 {
+		return nil
+	}
+	return map[string]float64{
+		"avg_gc_over_app_pct": gc / n,
+		"avg_norm_time":       norm / n,
+		"sim_cycles_total":    float64(cycles),
+	}
 }
 
 // CSV renders the breakdown rows as comma-separated values — plot-ready

@@ -8,7 +8,11 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ffccd/internal/core"
 	"ffccd/internal/ds"
@@ -151,6 +155,90 @@ func poolSizeFor(wl workload.Config) uint64 {
 		need = 16 << 20
 	}
 	return need
+}
+
+// parallelism is the worker count used by RunSpecs to fan independent runs
+// out across the host's cores. Every Run builds its own Env (device, pool,
+// runtime), so runs are hermetic; parallelism changes host wall-clock only,
+// never a simulated result. Defaults to GOMAXPROCS, overridable with the
+// FFCCD_PARALLEL environment variable or SetParallelism.
+var parallelism atomic.Int64
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("FFCCD_PARALLEL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	parallelism.Store(int64(n))
+}
+
+// SetParallelism sets the RunSpecs worker count (values < 1 mean serial).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the current RunSpecs worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// RunSpecs executes every spec, fanning them out across Parallelism()
+// workers, and returns the outcomes in spec order (the output is
+// deterministic regardless of worker count). The first error in spec order
+// is returned.
+func RunSpecs(specs []Spec) ([]Outcome, error) {
+	outs := make([]Outcome, len(specs))
+	err := parallelFor(len(specs), func(i int) error {
+		var err error
+		outs[i], err = Run(specs[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// parallelFor runs f(0..n-1) across Parallelism() workers and returns the
+// first error in index order. It is the fan-out primitive for experiments
+// whose units of work are not plain Specs (custom envs, multi-run series).
+func parallelFor(n int, f func(i int) error) error {
+	errs := make([]error, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = f(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = f(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run executes one spec and returns its outcome.

@@ -53,7 +53,7 @@ func TestRunConcurrent(t *testing.T) {
 }
 
 func TestFigure14SchemeOrdering(t *testing.T) {
-	rows, err := runBreakdown("LL", 1, testScale, allSchemes)
+	rows, err := runBreakdowns([]breakdownCell{{"LL", 1}}, testScale, allSchemes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestAblationWritesShape(t *testing.T) {
 }
 
 func TestBreakdownRenderings(t *testing.T) {
-	rows, err := runBreakdown("LL", 1, testScale, []core.Scheme{core.SchemeEspresso})
+	rows, err := runBreakdowns([]breakdownCell{{"LL", 1}}, testScale, []core.Scheme{core.SchemeEspresso})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,15 +32,23 @@ type Fig1Result struct {
 // scaled-down workload; see EXPERIMENTS.md.
 func Figure1(scale float64) (Fig1Result, error) {
 	res := Fig1Result{Series: map[string][]Fig1Run{}}
-	for _, pc := range []struct {
+	configs := []struct {
 		name  string
 		shift uint
-	}{{"4KB", 12}, {"2MB(scaled)", 16}} {
-		runs, err := figure1Runs(scale, pc.shift)
-		if err != nil {
-			return res, err
-		}
-		res.Series[pc.name] = runs
+	}{{"4KB", 12}, {"2MB(scaled)", 16}}
+	series := make([][]Fig1Run, len(configs))
+	// The three runs of one page config share a device and must stay
+	// sequential; the two page configs are independent machines.
+	err := parallelFor(len(configs), func(i int) error {
+		runs, err := figure1Runs(scale, configs[i].shift)
+		series[i] = runs
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, pc := range configs {
+		res.Series[pc.name] = series[i]
 	}
 	return res, nil
 }

@@ -52,18 +52,24 @@ func Figure16(scale float64) (Fig16Result, error) {
 		scheme core.Scheme
 		mesh   bool
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"PMDK (baseline)", core.SchemeNone, false},
 		{"FFCCD", core.SchemeFFCCDCheckLookup, false},
 		{"STW defrag", core.SchemeEspresso, false},
 		{"Mesh", core.SchemeNone, true},
-	} {
-		out, err := runFig16Variant(v.name, v.scheme, v.mesh, cfg)
-		if err != nil {
-			return res, err
-		}
-		res.Variants = append(res.Variants, out)
 	}
+	outs := make([]Fig16Variant, len(variants))
+	// Every variant drives its own simulated machine; fan them out.
+	err := parallelFor(len(variants), func(i int) error {
+		v := variants[i]
+		out, err := runFig16Variant(v.name, v.scheme, v.mesh, cfg)
+		outs[i] = out
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Variants = outs
 	// Fragmentation reduction vs baseline.
 	base := res.Variants[0]
 	baseFoot := float64(base.Samples[len(base.Samples)-1].Footprint)

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ffccd/internal/core"
+)
+
+// goldenRun mirrors one entry of testdata/golden_cycles.json — the exact
+// per-category cycle totals and device counters captured before the host-side
+// performance refactor (sharded stats, per-set in-flight state,
+// allocation-free relocate). The simulated machine must keep producing these
+// numbers bit-for-bit: host optimisations may change wall-clock, never cycles.
+type goldenRun struct {
+	Store        string   `json:"store"`
+	Scheme       string   `json:"scheme"`
+	Threads      int      `json:"threads"`
+	Scale        float64  `json:"scale"`
+	PageShift    uint     `json:"page_shift"`
+	Seed         int64    `json:"seed"`
+	Trigger      float64  `json:"trigger"`
+	Target       float64  `json:"target"`
+	Cycles       []uint64 `json:"cycles"`
+	FragRatio    string   `json:"frag_ratio"`
+	Loads        uint64   `json:"loads"`
+	Stores       uint64   `json:"stores"`
+	MediaWrites  uint64   `json:"media_writes"`
+	MediaReads   uint64   `json:"media_reads"`
+	Clwbs        uint64   `json:"clwbs"`
+	Sfences      uint64   `json:"sfences"`
+	RelocateOps  uint64   `json:"relocate_ops"`
+	PendingReach uint64   `json:"pending_reach"`
+}
+
+func schemeByName(name string) (core.Scheme, bool) {
+	for s := core.SchemeNone; s <= core.SchemeFFCCDCheckLookup; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// TestGoldenCycles replays the committed pre-refactor runs and demands
+// byte-identical simulated results. Any drift here means a host-side change
+// leaked into simulation semantics.
+func TestGoldenCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_cycles.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []goldenRun
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) == 0 {
+		t.Fatal("empty golden file")
+	}
+	for _, g := range golden {
+		g := g
+		name := fmt.Sprintf("%s_%s_shift%d_seed%d", g.Store, g.Scheme, g.PageShift, g.Seed)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			scheme, ok := schemeByName(g.Scheme)
+			if !ok {
+				t.Fatalf("unknown scheme %q", g.Scheme)
+			}
+			spec := Spec{
+				Store: g.Store, Threads: g.Threads, Scheme: scheme,
+				Trigger: g.Trigger, Target: g.Target,
+				Scale: g.Scale, PageShift: g.PageShift, Seed: g.Seed,
+			}
+			out, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cat, want := range g.Cycles {
+				if got := out.Cycles[cat]; got != want {
+					t.Errorf("cycles[%d] = %d, golden %d", cat, got, want)
+				}
+			}
+			if got := fmt.Sprintf("%.9f", out.FragRatio()); got != g.FragRatio {
+				t.Errorf("fragRatio = %s, golden %s", got, g.FragRatio)
+			}
+			dev := out.Device
+			counters := []struct {
+				name string
+				got  uint64
+				want uint64
+			}{
+				{"loads", dev.Loads, g.Loads},
+				{"stores", dev.Stores, g.Stores},
+				{"mediaWrites", dev.MediaWrites, g.MediaWrites},
+				{"mediaReads", dev.MediaReads, g.MediaReads},
+				{"clwbs", dev.Clwbs, g.Clwbs},
+				{"sfences", dev.Sfences, g.Sfences},
+				{"relocateOps", dev.RelocateOps, g.RelocateOps},
+				{"pendingReach", dev.PendingReach, g.PendingReach},
+			}
+			for _, c := range counters {
+				if c.got != c.want {
+					t.Errorf("device.%s = %d, golden %d", c.name, c.got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestCycleDeterminism runs the same spec twice in one process and demands
+// identical cycle totals and device counters. This pins the deterministic
+// drain order of the per-set in-flight state: map-iteration or scheduling
+// nondeterminism anywhere in the device would show up here as cycle drift.
+func TestCycleDeterminism(t *testing.T) {
+	spec := Spec{Store: "LL", Threads: 1, Scheme: core.SchemeFFCCDCheckLookup,
+		Scale: 0.001, PageShift: 12, Seed: 7}
+	spec.Trigger, spec.Target = core.NormalParams()
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycle totals differ across identical runs:\n  %v\n  %v", a.Cycles, b.Cycles)
+	}
+	if a.Device != b.Device {
+		t.Errorf("device counters differ across identical runs:\n  %+v\n  %+v", a.Device, b.Device)
+	}
+	if fmt.Sprintf("%.12f", a.FragRatio()) != fmt.Sprintf("%.12f", b.FragRatio()) {
+		t.Errorf("frag ratio differs: %v vs %v", a.FragRatio(), b.FragRatio())
+	}
+}

@@ -28,24 +28,29 @@ type Table3Result struct{ Rows []Table3Row }
 // runs at small scale are noisy).
 var tableSeeds = []int64{3, 109, 271}
 
-// runAveraged runs spec once per seed and averages footprint/live.
-func runAveraged(spec Spec) (Outcome, error) {
+// seededSpecs expands spec into one copy per table seed. averageOutcomes
+// merges the corresponding outcomes back into one averaged cell; the split
+// lets a whole table's runs fan out through RunSpecs at once.
+func seededSpecs(spec Spec) []Spec {
+	specs := make([]Spec, len(tableSeeds))
+	for i, seed := range tableSeeds {
+		specs[i] = spec
+		specs[i].Seed = seed
+	}
+	return specs
+}
+
+func averageOutcomes(outs []Outcome) Outcome {
 	var agg Outcome
-	for _, seed := range tableSeeds {
-		s := spec
-		s.Seed = seed
-		out, err := Run(s)
-		if err != nil {
-			return agg, err
-		}
+	for _, out := range outs {
 		agg.Spec = out.Spec
-		agg.AvgFootprintMB += out.AvgFootprintMB / float64(len(tableSeeds))
-		agg.AvgLiveMB += out.AvgLiveMB / float64(len(tableSeeds))
+		agg.AvgFootprintMB += out.AvgFootprintMB / float64(len(outs))
+		agg.AvgLiveMB += out.AvgLiveMB / float64(len(outs))
 		agg.TotalOps += out.TotalOps
 		agg.Engine.Cycles += out.Engine.Cycles
 		agg.Engine.ObjectsMoved += out.Engine.ObjectsMoved
 	}
-	return agg, nil
+	return agg
 }
 
 // Table3 reproduces Table 3: fragmentation effectiveness on the five
@@ -55,25 +60,30 @@ func runAveraged(spec Spec) (Outcome, error) {
 func Table3(scale float64) (Table3Result, error) {
 	var res Table3Result
 	const pageShift = 16 // scaled stand-in for 2 MB pages
+	// Three averaged cells (baseline, Normal, Relaxed) of three seeded runs
+	// each, per store — all 9×len(Micros) runs fan out together.
+	var specs []Spec
 	for _, store := range Micros {
 		base := Spec{Store: store, Threads: 1, Scheme: core.SchemeNone, Scale: scale, PageShift: pageShift}
-		baseOut, err := runAveraged(base)
-		if err != nil {
-			return res, err
-		}
 		normal := base
 		normal.Scheme = core.SchemeFFCCDCheckLookup
 		normal.Trigger, normal.Target = core.NormalParams()
-		nOut, err := runAveraged(normal)
-		if err != nil {
-			return res, err
-		}
 		relaxed := normal
 		relaxed.Trigger, relaxed.Target = core.RelaxedParams()
-		rOut, err := runAveraged(relaxed)
-		if err != nil {
-			return res, err
-		}
+		specs = append(specs, seededSpecs(base)...)
+		specs = append(specs, seededSpecs(normal)...)
+		specs = append(specs, seededSpecs(relaxed)...)
+	}
+	outs, err := RunSpecs(specs)
+	if err != nil {
+		return res, err
+	}
+	ns := len(tableSeeds)
+	for i, store := range Micros {
+		cell := outs[i*3*ns:]
+		baseOut := averageOutcomes(cell[:ns])
+		nOut := averageOutcomes(cell[ns : 2*ns])
+		rOut := averageOutcomes(cell[2*ns : 3*ns])
 		res.Rows = append(res.Rows, Table3Row{
 			Store:         store,
 			PMDKMB:        baseOut.AvgFootprintMB,
@@ -131,19 +141,24 @@ func Table4(scale float64) (Table4Result, error) {
 	}{
 		{"BzTree", 1}, {"BzTree", 4}, {"FPTree", 1}, {"FPTree", 4}, {"Echo", 1}, {"pmemkv", 1},
 	}
+	var specs []Spec
 	for _, app := range apps {
 		base := Spec{Store: app.store, Threads: app.threads, Scheme: core.SchemeNone, Scale: scale, PageShift: pageShift}
-		baseOut, err := runAveraged(base)
-		if err != nil {
-			return res, err
-		}
 		ours := base
 		ours.Scheme = core.SchemeFFCCDCheckLookup
 		ours.Trigger, ours.Target = core.NormalParams()
-		oOut, err := runAveraged(ours)
-		if err != nil {
-			return res, err
-		}
+		specs = append(specs, seededSpecs(base)...)
+		specs = append(specs, seededSpecs(ours)...)
+	}
+	outs, err := RunSpecs(specs)
+	if err != nil {
+		return res, err
+	}
+	ns := len(tableSeeds)
+	for i, app := range apps {
+		cell := outs[i*2*ns:]
+		baseOut := averageOutcomes(cell[:ns])
+		oOut := averageOutcomes(cell[ns : 2*ns])
 		res.Rows = append(res.Rows, Table4Row{
 			Store:     app.store,
 			Threads:   app.threads,

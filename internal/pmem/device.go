@@ -16,11 +16,18 @@
 //     in-flight lines (ADR guarantees only what reached the WPQ), and leaves
 //     the media array as the exact post-crash machine state.
 //
-// All latencies are charged to the sim.Ctx passed to each operation.
+// All latencies are charged to the sim.Ctx passed to each operation. The
+// device is engineered so that simulation threads share no contended host
+// state on the per-access path: statistics counters are sharded atomics,
+// and in-flight (clwb'd, unfenced) lines live with their cache set, under
+// the same per-set lock every access already takes. See DESIGN.md ("Host
+// performance model") for the invariant host-side optimizations must keep.
 package pmem
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -44,7 +51,8 @@ type RBBSink interface {
 // CrashPolicy decides, for a line that was clwb'd but not yet fenced at the
 // moment of a crash, whether it reached the persistence domain. Fault
 // injection enumerates both outcomes; the default policy drops everything
-// (the most adversarial interpretation).
+// (the most adversarial interpretation). Policies must be pure functions of
+// the line address: they are invoked in ascending line order.
 type CrashPolicy func(lineAddr uint64) bool
 
 // DropAllInflight is the default CrashPolicy: no unfenced line survives.
@@ -53,43 +61,47 @@ func DropAllInflight(uint64) bool { return false }
 // KeepAllInflight persists every unfenced clwb'd line.
 func KeepAllInflight(uint64) bool { return true }
 
+// cacheLine holds one way's payload. Tags and LRU ages live in separate
+// per-set arrays (cacheSet.tags/ages) so the way scan on every access walks a
+// few contiguous host cachelines instead of striding through the line bodies.
 type cacheLine struct {
-	tag     uint64 // line index + 1; 0 = invalid
 	dirty   bool
 	pending bool // destination of a relocate, not yet reached persistence
-	age     uint32
+	data    [LineSize]byte
+}
+
+// inflightEntry is one clwb'd-but-unfenced line. Entries live with the cache
+// set their line maps to, so the per-set lock that already serializes cache
+// accesses to the line also serializes its in-flight state — no global
+// in-flight lock exists.
+type inflightEntry struct {
+	lineIdx uint64
+	pending bool
 	data    [LineSize]byte
 }
 
 type cacheSet struct {
 	mu   sync.Mutex
+	tags []uint64 // line index + 1 per way; 0 = invalid
+	ages []uint32 // LRU age per way
 	ways []cacheLine
 	tick uint32
-}
 
-type inflightLine struct {
-	pending bool
-	data    [LineSize]byte
-}
+	// inflight holds this set's clwb'd-but-unfenced lines (guarded by mu).
+	// The slice's capacity is retained across drains so the steady state
+	// allocates nothing.
+	inflight []inflightEntry
+	// enqueued records whether this set is already on the device's
+	// pending-set list (guarded by mu).
+	enqueued bool
 
-// Stats are cumulative device counters (approximate under concurrency; used
-// for reporting, not correctness).
-type Stats struct {
-	Loads        uint64
-	Stores       uint64
-	CacheHits    uint64
-	CacheMisses  uint64
-	Evictions    uint64
-	MediaWrites  uint64 // lines written to media (PM write traffic)
-	MediaReads   uint64 // lines fetched from media
-	Clwbs        uint64
-	Sfences      uint64
-	RelocateOps  uint64
-	PendingReach uint64 // pending lines that reached persistence
+	_ [64]byte // keep adjacent sets off each other's cachelines
 }
 
 // Device is a simulated persistent-memory module plus the volatile cache in
-// front of it. It is safe for concurrent use by multiple simulation threads.
+// front of it. It is safe for concurrent use by multiple simulation threads;
+// per-access state is partitioned per cache set so threads touching
+// different lines share no locks.
 type Device struct {
 	cfg   *sim.Config
 	media []byte
@@ -97,8 +109,16 @@ type Device struct {
 	nway  int
 	sets  []cacheSet
 
-	inflightMu sync.Mutex
-	inflight   map[uint64]*inflightLine
+	// setMagic enables the division-free set mapping (Lemire's fastmod).
+	// Non-zero only when nset is not a power of two and every line index
+	// fits in 32 bits; zero falls back to the plain modulo. Either path
+	// computes exactly lineIdx % nset.
+	setMagic uint64
+
+	// pend lists the indices of sets that currently hold in-flight lines, so
+	// Sfence visits only those sets instead of scanning the whole cache.
+	pendMu sync.Mutex
+	pend   []int
 
 	rbbMu sync.Mutex
 	rbb   RBBSink
@@ -108,8 +128,7 @@ type Device struct {
 
 	eADR atomic.Bool
 
-	statsMu sync.Mutex
-	stats   Stats
+	stat [statShards]statShard
 }
 
 // SetEADR switches the platform persistence domain to eADR (§4.4): on power
@@ -131,16 +150,20 @@ func NewDevice(cfg *sim.Config, size uint64) *Device {
 		nset = 1
 	}
 	d := &Device{
-		cfg:      cfg,
-		media:    make([]byte, size),
-		nset:     nset,
-		nway:     nway,
-		sets:     make([]cacheSet, nset),
-		inflight: make(map[uint64]*inflightLine),
-		policy:   DropAllInflight,
+		cfg:    cfg,
+		media:  make([]byte, size),
+		nset:   nset,
+		nway:   nway,
+		sets:   make([]cacheSet, nset),
+		policy: DropAllInflight,
 	}
 	for i := range d.sets {
+		d.sets[i].tags = make([]uint64, nway)
+		d.sets[i].ages = make([]uint32, nway)
 		d.sets[i].ways = make([]cacheLine, nway)
+	}
+	if nset > 1 && nset&(nset-1) != 0 && size>>LineShift <= 1<<32 {
+		d.setMagic = ^uint64(0)/uint64(nset) + 1
 	}
 	return d
 }
@@ -165,24 +188,20 @@ func (d *Device) SetCrashPolicy(p CrashPolicy) {
 	d.policyMu.Unlock()
 }
 
-// Stats returns a snapshot of the device counters.
-func (d *Device) Stats() Stats {
-	d.statsMu.Lock()
-	defer d.statsMu.Unlock()
-	return d.stats
+// setOf returns the cache set for lineIdx.
+func (d *Device) setOf(lineIdx uint64) *cacheSet {
+	return &d.sets[d.setIndex(lineIdx)]
 }
 
-// ResetStats zeroes the counters.
-func (d *Device) ResetStats() {
-	d.statsMu.Lock()
-	d.stats = Stats{}
-	d.statsMu.Unlock()
-}
-
-func (d *Device) bump(f func(*Stats)) {
-	d.statsMu.Lock()
-	f(&d.stats)
-	d.statsMu.Unlock()
+// setIndex computes lineIdx % nset without a hardware divide when setMagic
+// is armed (the set count is a runtime value, so the compiler cannot
+// strength-reduce the modulo itself).
+func (d *Device) setIndex(lineIdx uint64) int {
+	if m := d.setMagic; m != 0 {
+		hi, _ := bits.Mul64(m*lineIdx, uint64(d.nset))
+		return int(hi)
+	}
+	return int(lineIdx % uint64(d.nset))
 }
 
 func (d *Device) checkRange(addr, n uint64) {
@@ -193,7 +212,7 @@ func (d *Device) checkRange(addr, n uint64) {
 
 // notifyReached reports a pending line's arrival in the persistence domain.
 func (d *Device) notifyReached(ctx *sim.Ctx, lineIdx uint64) {
-	d.bump(func(s *Stats) { s.PendingReach++ })
+	d.lineShard(lineIdx).c[cPendingReach].Add(1)
 	d.rbbMu.Lock()
 	sink := d.rbb
 	d.rbbMu.Unlock()
@@ -202,16 +221,30 @@ func (d *Device) notifyReached(ctx *sim.Ctx, lineIdx uint64) {
 	}
 }
 
+// inflightIndex returns the position of lineIdx in set.inflight, or -1.
+// Caller holds set.mu.
+func (set *cacheSet) inflightIndex(lineIdx uint64) int {
+	for i := range set.inflight {
+		if set.inflight[i].lineIdx == lineIdx {
+			return i
+		}
+	}
+	return -1
+}
+
 // writeMediaLine commits a full line to media, dropping any stale in-flight
-// copy so a later crash cannot regress the line to older data. The media
-// copy happens under inflightMu so it cannot interleave with an Sfence
-// draining the same line.
-func (d *Device) writeMediaLine(ctx *sim.Ctx, lineIdx uint64, data *[LineSize]byte, pending bool) {
-	d.inflightMu.Lock()
+// copy so a later crash cannot regress the line to older data. The caller
+// holds the lock of the set the line maps to (set), which is the same lock
+// Clwb and Sfence take for the line's in-flight state, so the media copy
+// cannot interleave with a drain of the same line.
+func (d *Device) writeMediaLine(ctx *sim.Ctx, set *cacheSet, lineIdx uint64, data *[LineSize]byte, pending bool) {
 	copy(d.media[lineIdx<<LineShift:], data[:])
-	delete(d.inflight, lineIdx)
-	d.inflightMu.Unlock()
-	d.bump(func(s *Stats) { s.MediaWrites++ })
+	if i := set.inflightIndex(lineIdx); i >= 0 {
+		last := len(set.inflight) - 1
+		set.inflight[i] = set.inflight[last]
+		set.inflight = set.inflight[:last]
+	}
+	d.lineShard(lineIdx).c[cMediaWrites].Add(1)
 	if ctx != nil {
 		ctx.Charge(d.cfg.PMWriteBandwidthPenalty)
 	}
@@ -235,17 +268,33 @@ func (d *Device) RestoreMedia(img []byte) {
 		panic("pmem: RestoreMedia size mismatch")
 	}
 	copy(d.media, img)
-	d.inflightMu.Lock()
-	d.inflight = make(map[uint64]*inflightLine)
-	d.inflightMu.Unlock()
+	d.dropVolatile()
+}
+
+// dropVolatile clears every cached line, all in-flight state and the
+// pending-set list.
+func (d *Device) dropVolatile() {
 	for i := range d.sets {
 		set := &d.sets[i]
 		set.mu.Lock()
-		for w := range set.ways {
-			set.ways[w] = cacheLine{}
-		}
+		set.clearWays()
+		set.inflight = set.inflight[:0]
+		set.enqueued = false
 		set.mu.Unlock()
 	}
+	d.pendMu.Lock()
+	d.pend = d.pend[:0]
+	d.pendMu.Unlock()
+}
+
+// clearWays invalidates every way of the set. Caller holds set.mu.
+func (set *cacheSet) clearWays() {
+	for w := range set.ways {
+		set.tags[w] = 0
+		set.ages[w] = 0
+		set.ways[w] = cacheLine{}
+	}
+	set.tick = 0
 }
 
 // MediaRead copies persisted bytes (media only — the post-crash view). It is
@@ -262,7 +311,7 @@ func (d *Device) MediaRead(addr uint64, buf []byte) {
 func (d *Device) MediaWrite(addr uint64, data []byte) {
 	d.checkRange(addr, uint64(len(data)))
 	copy(d.media[addr:], data)
-	d.bump(func(s *Stats) { s.MediaWrites++ })
+	d.lineShard(addr >> LineShift).c[cMediaWrites].Add(1)
 }
 
 // Crash simulates a power failure: every cached line is lost, the crash
@@ -282,42 +331,54 @@ func (d *Device) Crash() {
 	policy := d.policy
 	d.policyMu.Unlock()
 
-	d.inflightMu.Lock()
-	for lineIdx, fl := range d.inflight {
-		if policy(lineIdx << LineShift) {
-			copy(d.media[lineIdx<<LineShift:], fl.data[:])
-			if fl.pending {
-				// Reached the WPQ at power-off; ADR flushes it and the RBB
-				// update logic runs during the flush (§4.2).
-				d.inflightMu.Unlock()
-				d.notifyReached(nil, lineIdx)
-				d.inflightMu.Lock()
-			}
-		}
-	}
-	d.inflight = make(map[uint64]*inflightLine)
-	d.inflightMu.Unlock()
-
+	// Harvest all in-flight lines and clear the volatile state under the set
+	// locks, then apply the policy and notify the RBB with no locks held
+	// (the sink may call back into MediaWrite/MediaRead).
+	var pending []inflightEntry
 	for i := range d.sets {
 		set := &d.sets[i]
 		set.mu.Lock()
-		for w := range set.ways {
-			set.ways[w] = cacheLine{}
-		}
-		set.tick = 0
+		pending = append(pending, set.inflight...)
+		set.inflight = set.inflight[:0]
+		set.enqueued = false
+		set.clearWays()
 		set.mu.Unlock()
+	}
+	d.pendMu.Lock()
+	d.pend = d.pend[:0]
+	d.pendMu.Unlock()
+
+	sort.Slice(pending, func(i, j int) bool { return pending[i].lineIdx < pending[j].lineIdx })
+	var reached []uint64
+	for i := range pending {
+		fl := &pending[i]
+		if policy(fl.lineIdx << LineShift) {
+			copy(d.media[fl.lineIdx<<LineShift:], fl.data[:])
+			if fl.pending {
+				// Reached the WPQ at power-off; ADR flushes it and the RBB
+				// update logic runs during the flush (§4.2).
+				reached = append(reached, fl.lineIdx)
+			}
+		}
+	}
+	for _, lineIdx := range reached {
+		d.notifyReached(nil, lineIdx)
 	}
 }
 
-// InflightLines returns the addresses of clwb'd-but-unfenced lines (for fault
-// injection to enumerate crash outcomes).
+// InflightLines returns the addresses of clwb'd-but-unfenced lines in
+// ascending order (for fault injection to enumerate crash outcomes).
 func (d *Device) InflightLines() []uint64 {
-	d.inflightMu.Lock()
-	defer d.inflightMu.Unlock()
-	out := make([]uint64, 0, len(d.inflight))
-	for idx := range d.inflight {
-		out = append(out, idx<<LineShift)
+	var out []uint64
+	for i := range d.sets {
+		set := &d.sets[i]
+		set.mu.Lock()
+		for j := range set.inflight {
+			out = append(out, set.inflight[j].lineIdx<<LineShift)
+		}
+		set.mu.Unlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -341,14 +402,13 @@ const (
 // StateOf returns the LineState for the line containing addr.
 func (d *Device) StateOf(addr uint64) LineState {
 	lineIdx := addr >> LineShift
-	d.inflightMu.Lock()
-	_, inflight := d.inflight[lineIdx]
-	d.inflightMu.Unlock()
-	set := &d.sets[int(lineIdx%uint64(d.nset))]
+	set := d.setOf(lineIdx)
 	set.mu.Lock()
-	for w := range set.ways {
-		l := &set.ways[w]
-		if l.tag == lineIdx+1 {
+	defer set.mu.Unlock()
+	inflight := set.inflightIndex(lineIdx) >= 0
+	for w, t := range set.tags {
+		if t == lineIdx+1 {
+			l := &set.ways[w]
 			st := LineCachedClean
 			if l.pending {
 				st = LineCachedPending
@@ -358,11 +418,9 @@ func (d *Device) StateOf(addr uint64) LineState {
 				// Cached clean but the durable copy is still in flight.
 				st = LineInflight
 			}
-			set.mu.Unlock()
 			return st
 		}
 	}
-	set.mu.Unlock()
 	if inflight {
 		return LineInflight
 	}

@@ -1,61 +1,60 @@
 package pmem
 
-import "ffccd/internal/sim"
+import (
+	"slices"
+	"sync"
+
+	"ffccd/internal/sim"
+)
 
 // fillLine loads the newest persistent copy of lineIdx (in-flight beats
-// media) into buf. Caller holds the set lock.
-func (d *Device) fillLine(lineIdx uint64, buf *[LineSize]byte) {
-	d.inflightMu.Lock()
-	fl, ok := d.inflight[lineIdx]
-	if ok {
-		*buf = fl.data
+// media) into buf. Caller holds set.mu for the line's set.
+func (d *Device) fillLine(set *cacheSet, lineIdx uint64, buf *[LineSize]byte) {
+	if i := set.inflightIndex(lineIdx); i >= 0 {
+		*buf = set.inflight[i].data
+		return
 	}
-	d.inflightMu.Unlock()
-	if !ok {
-		copy(buf[:], d.media[lineIdx<<LineShift:(lineIdx+1)<<LineShift])
-	}
+	copy(buf[:], d.media[lineIdx<<LineShift:(lineIdx+1)<<LineShift])
 }
 
-// access locks the set for lineIdx, ensures the line is resident (filling
-// from the persistence domain on a miss, evicting a victim if needed), runs
-// fn on it, and unlocks. Returns whether the access hit in the cache.
-func (d *Device) access(ctx *sim.Ctx, lineIdx uint64, fn func(l *cacheLine)) bool {
-	set := &d.sets[int(lineIdx%uint64(d.nset))]
+// lockLine locks the set for lineIdx and ensures the line is resident,
+// filling from the persistence domain on a miss (evicting a victim if
+// needed). It returns the locked set, the resident line, and whether the
+// access hit in the cache. The caller mutates the line and unlocks set.mu.
+func (d *Device) lockLine(ctx *sim.Ctx, lineIdx uint64) (set *cacheSet, line *cacheLine, hit bool) {
+	set = d.setOf(lineIdx)
 	set.mu.Lock()
 	set.tick++
-	var victim *cacheLine
+	tag := lineIdx + 1
+	victim := 0
 	var oldest uint32 = ^uint32(0)
-	for w := range set.ways {
-		l := &set.ways[w]
-		if l.tag == lineIdx+1 {
-			l.age = set.tick
-			fn(l)
-			set.mu.Unlock()
-			return true
+	for w, t := range set.tags {
+		if t == tag {
+			set.ages[w] = set.tick
+			return set, &set.ways[w], true
 		}
-		if l.tag == 0 {
+		if t == 0 {
 			if oldest != 0 {
-				victim, oldest = l, 0
+				victim, oldest = w, 0
 			}
 			continue
 		}
-		if l.age < oldest {
-			victim, oldest = l, l.age
+		if a := set.ages[w]; a < oldest {
+			victim, oldest = w, a
 		}
 	}
 	// Miss: evict the victim and fill.
-	if victim.tag != 0 && victim.dirty {
-		d.bump(func(s *Stats) { s.Evictions++ })
-		d.writeMediaLine(ctx, victim.tag-1, &victim.data, victim.pending)
+	l := &set.ways[victim]
+	if vt := set.tags[victim]; vt != 0 && l.dirty {
+		d.lineShard(vt - 1).c[cEvictions].Add(1)
+		d.writeMediaLine(ctx, set, vt-1, &l.data, l.pending)
 	}
-	victim.tag = lineIdx + 1
-	victim.dirty = false
-	victim.pending = false
-	victim.age = set.tick
-	d.fillLine(lineIdx, &victim.data)
-	fn(victim)
-	set.mu.Unlock()
-	return false
+	set.tags[victim] = tag
+	set.ages[victim] = set.tick
+	l.dirty = false
+	l.pending = false
+	d.fillLine(set, lineIdx, &l.data)
+	return set, l, false
 }
 
 // Load reads len(buf) bytes at addr through the cache, charging hit/miss
@@ -63,26 +62,53 @@ func (d *Device) access(ctx *sim.Ctx, lineIdx uint64, fn func(l *cacheLine)) boo
 // virtual address.
 func (d *Device) Load(ctx *sim.Ctx, addr uint64, buf []byte) {
 	d.checkRange(addr, uint64(len(buf)))
-	d.bump(func(s *Stats) { s.Loads++ })
+	lineIdx := addr >> LineShift
+	off := addr & (LineSize - 1)
+	shard := d.lineShard(lineIdx)
+	if off+uint64(len(buf)) <= LineSize {
+		// Fast path: the access is contained in a single line (the dominant
+		// case — field reads, pointers, headers).
+		set, l, hit := d.lockLine(ctx, lineIdx)
+		copy(buf, l.data[off:off+uint64(len(buf))])
+		set.mu.Unlock()
+		shard.c[cLoads].Add(1)
+		if hit {
+			ctx.Charge(d.cfg.L2Latency)
+			shard.c[cCacheHits].Add(1)
+		} else {
+			ctx.Charge(d.cfg.L2Latency + d.cfg.PMReadLatency)
+			shard.c[cCacheMisses].Add(1)
+			shard.c[cMediaReads].Add(1)
+		}
+		return
+	}
+	var hits, misses uint64
 	for len(buf) > 0 {
-		lineIdx := addr >> LineShift
-		off := addr & (LineSize - 1)
+		lineIdx = addr >> LineShift
+		off = addr & (LineSize - 1)
 		n := LineSize - off
 		if n > uint64(len(buf)) {
 			n = uint64(len(buf))
 		}
-		hit := d.access(ctx, lineIdx, func(l *cacheLine) {
-			copy(buf[:n], l.data[off:off+n])
-		})
+		set, l, hit := d.lockLine(ctx, lineIdx)
+		copy(buf[:n], l.data[off:off+n])
+		set.mu.Unlock()
 		if hit {
-			ctx.Charge(d.cfg.L2Latency)
-			d.bump(func(s *Stats) { s.CacheHits++ })
+			hits++
 		} else {
-			ctx.Charge(d.cfg.L2Latency + d.cfg.PMReadLatency)
-			d.bump(func(s *Stats) { s.CacheMisses++; s.MediaReads++ })
+			misses++
 		}
 		buf = buf[n:]
 		addr += n
+	}
+	ctx.Charge(hits*d.cfg.L2Latency + misses*(d.cfg.L2Latency+d.cfg.PMReadLatency))
+	shard.c[cLoads].Add(1)
+	if hits > 0 {
+		shard.c[cCacheHits].Add(hits)
+	}
+	if misses > 0 {
+		shard.c[cCacheMisses].Add(misses)
+		shard.c[cMediaReads].Add(misses)
 	}
 }
 
@@ -93,30 +119,60 @@ func (d *Device) Store(ctx *sim.Ctx, addr uint64, data []byte) {
 
 func (d *Device) storeInternal(ctx *sim.Ctx, addr uint64, data []byte, pending bool) {
 	d.checkRange(addr, uint64(len(data)))
-	d.bump(func(s *Stats) { s.Stores++ })
+	lineIdx := addr >> LineShift
+	off := addr & (LineSize - 1)
+	shard := d.lineShard(lineIdx)
+	if off+uint64(len(data)) <= LineSize {
+		// Fast path: single-line store.
+		set, l, hit := d.lockLine(ctx, lineIdx)
+		copy(l.data[off:off+uint64(len(data))], data)
+		l.dirty = true
+		if pending {
+			l.pending = true
+		}
+		set.mu.Unlock()
+		shard.c[cStores].Add(1)
+		if hit {
+			ctx.Charge(d.cfg.L2Latency)
+			shard.c[cCacheHits].Add(1)
+		} else {
+			ctx.Charge(d.cfg.L2Latency + d.cfg.PMReadLatency)
+			shard.c[cCacheMisses].Add(1)
+			shard.c[cMediaReads].Add(1)
+		}
+		return
+	}
+	var hits, misses uint64
 	for len(data) > 0 {
-		lineIdx := addr >> LineShift
-		off := addr & (LineSize - 1)
+		lineIdx = addr >> LineShift
+		off = addr & (LineSize - 1)
 		n := LineSize - off
 		if n > uint64(len(data)) {
 			n = uint64(len(data))
 		}
-		hit := d.access(ctx, lineIdx, func(l *cacheLine) {
-			copy(l.data[off:off+n], data[:n])
-			l.dirty = true
-			if pending {
-				l.pending = true
-			}
-		})
+		set, l, hit := d.lockLine(ctx, lineIdx)
+		copy(l.data[off:off+n], data[:n])
+		l.dirty = true
+		if pending {
+			l.pending = true
+		}
+		set.mu.Unlock()
 		if hit {
-			ctx.Charge(d.cfg.L2Latency)
-			d.bump(func(s *Stats) { s.CacheHits++ })
+			hits++
 		} else {
-			ctx.Charge(d.cfg.L2Latency + d.cfg.PMReadLatency)
-			d.bump(func(s *Stats) { s.CacheMisses++; s.MediaReads++ })
+			misses++
 		}
 		data = data[n:]
 		addr += n
+	}
+	ctx.Charge(hits*d.cfg.L2Latency + misses*(d.cfg.L2Latency+d.cfg.PMReadLatency))
+	shard.c[cStores].Add(1)
+	if hits > 0 {
+		shard.c[cCacheHits].Add(hits)
+	}
+	if misses > 0 {
+		shard.c[cCacheMisses].Add(misses)
+		shard.c[cMediaReads].Add(misses)
 	}
 }
 
@@ -126,23 +182,30 @@ func (d *Device) storeInternal(ctx *sim.Ctx, addr uint64, data []byte, pending b
 // a line that is not dirty is a no-op beyond its access cost.
 func (d *Device) Clwb(ctx *sim.Ctx, addr uint64) {
 	d.checkRange(addr, 1)
-	d.bump(func(s *Stats) { s.Clwbs++ })
 	lineIdx := addr >> LineShift
-	set := &d.sets[int(lineIdx%uint64(d.nset))]
+	d.lineShard(lineIdx).c[cClwbs].Add(1)
+	set := d.setOf(lineIdx)
 	set.mu.Lock()
-	for w := range set.ways {
-		l := &set.ways[w]
-		if l.tag == lineIdx+1 {
+	for w, t := range set.tags {
+		if t == lineIdx+1 {
+			l := &set.ways[w]
 			if l.dirty {
-				d.inflightMu.Lock()
-				fl := d.inflight[lineIdx]
-				if fl == nil {
-					fl = &inflightLine{}
-					d.inflight[lineIdx] = fl
+				if i := set.inflightIndex(lineIdx); i >= 0 {
+					fl := &set.inflight[i]
+					fl.data = l.data
+					fl.pending = fl.pending || l.pending
+				} else {
+					set.inflight = append(set.inflight, inflightEntry{
+						lineIdx: lineIdx, pending: l.pending, data: l.data,
+					})
+					if !set.enqueued {
+						set.enqueued = true
+						si := d.setIndex(lineIdx)
+						d.pendMu.Lock()
+						d.pend = append(d.pend, si)
+						d.pendMu.Unlock()
+					}
 				}
-				fl.data = l.data
-				fl.pending = fl.pending || l.pending
-				d.inflightMu.Unlock()
 				l.dirty = false
 				l.pending = false
 				ctx.PendingFlushes++
@@ -154,30 +217,57 @@ func (d *Device) Clwb(ctx *sim.Ctx, addr uint64) {
 	ctx.Charge(d.cfg.L2Latency + d.cfg.WPQLatency)
 }
 
+// sfenceScratch holds Sfence's reusable working set.
+type sfenceScratch struct {
+	sets    []int
+	reached []uint64
+}
+
+var sfencePool = sync.Pool{New: func() any { return new(sfenceScratch) }}
+
 // Sfence drains all in-flight lines into the persistence domain and stalls
 // the issuing thread. (Real sfence orders only the issuing core's stores;
 // draining globally is a conservative simplification that never weakens the
-// schemes' ordering assumptions — documented in DESIGN.md.)
+// schemes' ordering assumptions — documented in DESIGN.md.) Only sets that
+// actually hold in-flight lines are visited, and pending-line RBB
+// notifications are issued in ascending line order so concurrent and
+// sequential runs drain identically.
 func (d *Device) Sfence(ctx *sim.Ctx) {
-	d.bump(func(s *Stats) { s.Sfences++ })
-	d.inflightMu.Lock()
-	drained := len(d.inflight)
-	var reached []uint64
-	for lineIdx, fl := range d.inflight {
-		copy(d.media[lineIdx<<LineShift:], fl.data[:])
-		if fl.pending {
-			reached = append(reached, lineIdx)
+	d.ctxShard(ctx).c[cSfences].Add(1)
+
+	sc := sfencePool.Get().(*sfenceScratch)
+	d.pendMu.Lock()
+	sc.sets = append(sc.sets[:0], d.pend...)
+	d.pend = d.pend[:0]
+	d.pendMu.Unlock()
+
+	drained := 0
+	reached := sc.reached[:0]
+	for _, si := range sc.sets {
+		set := &d.sets[si]
+		set.mu.Lock()
+		set.enqueued = false
+		for i := range set.inflight {
+			fl := &set.inflight[i]
+			copy(d.media[fl.lineIdx<<LineShift:], fl.data[:])
+			if fl.pending {
+				reached = append(reached, fl.lineIdx)
+			}
 		}
-		delete(d.inflight, lineIdx)
+		drained += len(set.inflight)
+		set.inflight = set.inflight[:0]
+		set.mu.Unlock()
 	}
-	d.inflightMu.Unlock()
 	if drained > 0 {
-		d.bump(func(s *Stats) { s.MediaWrites += uint64(drained) })
+		d.ctxShard(ctx).c[cMediaWrites].Add(uint64(drained))
 		ctx.Charge(uint64(drained) * d.cfg.PMWriteBandwidthPenalty)
 	}
+	slices.Sort(reached)
 	for _, lineIdx := range reached {
 		d.notifyReached(ctx, lineIdx)
 	}
+	sc.reached = reached[:0]
+	sfencePool.Put(sc)
 	if ctx.PendingFlushes > 0 || drained > 0 {
 		// The fence exposes the full PM write latency — the stall FFCCD's
 		// fence-free design eliminates (§3.3.3).
@@ -188,83 +278,6 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 	ctx.PendingFlushes = 0
 }
 
-// RelocatePart is one source→destination span of a relocate operation.
-type RelocatePart struct {
-	Dst, Src, N uint64
-}
-
-// Relocate implements the paper's relocate instruction (§4.2): it copies n
-// bytes from src to dst through the cache, tagging every destination line
-// with the pending bit. No flush or fence is issued; the copied data reaches
-// the persistence domain lazily (eviction, a later clwb+sfence, or ADR at
-// power-off), and the RBB is notified when it does.
-func (d *Device) Relocate(ctx *sim.Ctx, dst, src, n uint64) {
-	d.RelocateParts(ctx, []RelocatePart{{Dst: dst, Src: src, N: n}})
-}
-
-// RelocateParts performs one relocate operation over multiple spans,
-// assembling each destination cacheline's new bytes in full before issuing a
-// single store for it. Destination lines are therefore update-atomic: a line
-// that reaches the persistence domain carries either none or all of the
-// operation's bytes for that line — the invariant the reached bitmap's
-// per-line granularity relies on during recovery (Observation 4), both for
-// objects whose source is not line-aligned and for small objects sharing a
-// destination line (which the defragmenter relocates as one cluster through
-// this call).
-func (d *Device) RelocateParts(ctx *sim.Ctx, parts []RelocatePart) {
-	d.bump(func(s *Stats) { s.RelocateOps++ })
-	// Collect the per-destination-line writes.
-	type span struct {
-		off  uint64 // offset within the line
-		data []byte
-	}
-	lines := make(map[uint64][]span)
-	var order []uint64
-	for _, p := range parts {
-		d.checkRange(p.Src, p.N)
-		d.checkRange(p.Dst, p.N)
-		dst, src, n := p.Dst, p.Src, p.N
-		for n > 0 {
-			lineIdx := dst >> LineShift
-			off := dst & (LineSize - 1)
-			step := LineSize - off
-			if step > n {
-				step = n
-			}
-			buf := make([]byte, step)
-			d.Load(ctx, src, buf)
-			if _, seen := lines[lineIdx]; !seen {
-				order = append(order, lineIdx)
-			}
-			lines[lineIdx] = append(lines[lineIdx], span{off, buf})
-			dst += step
-			src += step
-			n -= step
-		}
-	}
-	// One pending-tagged store per destination line, covering the full span
-	// this operation writes there.
-	for _, lineIdx := range order {
-		spans := lines[lineIdx]
-		lo, hi := uint64(LineSize), uint64(0)
-		for _, s := range spans {
-			if s.off < lo {
-				lo = s.off
-			}
-			if end := s.off + uint64(len(s.data)); end > hi {
-				hi = end
-			}
-		}
-		buf := make([]byte, hi-lo)
-		// Gaps between spans within [lo,hi) keep their current contents.
-		d.Load(ctx, lineIdx<<LineShift+lo, buf)
-		for _, s := range spans {
-			copy(buf[s.off-lo:], s.data)
-		}
-		d.storeInternal(ctx, lineIdx<<LineShift+lo, buf, true)
-	}
-}
-
 // FlushAll writes every dirty cached line back to media (clwb+sfence over
 // the whole cache). Used by terminate() before releasing relocation pages
 // and by tests that need a fully persisted heap.
@@ -272,10 +285,10 @@ func (d *Device) FlushAll(ctx *sim.Ctx) {
 	for i := range d.sets {
 		set := &d.sets[i]
 		set.mu.Lock()
-		for w := range set.ways {
+		for w, t := range set.tags {
 			l := &set.ways[w]
-			if l.tag != 0 && l.dirty {
-				d.writeMediaLine(ctx, l.tag-1, &l.data, l.pending)
+			if t != 0 && l.dirty {
+				d.writeMediaLine(ctx, set, t-1, &l.data, l.pending)
 				l.dirty = false
 				l.pending = false
 			}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package pmem
+
+// raceEnabled reports whether the race detector is compiled in; allocation-
+// count assertions are skipped under -race (the detector defeats sync.Pool
+// reuse by design).
+const raceEnabled = false

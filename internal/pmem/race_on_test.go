@@ -1,0 +1,5 @@
+//go:build race
+
+package pmem
+
+const raceEnabled = true

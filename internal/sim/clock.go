@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Category attributes simulated cycles to a phase of execution so that the
 // defragmentation time breakdowns (Fig. 5, 14, 15) can be reconstructed.
@@ -105,11 +108,19 @@ type Ctx struct {
 	// HW carries per-thread (per-core) hardware model state such as the
 	// checklookup unit, opaque to this package.
 	HW any
+
+	// Shard is a small per-context integer assigned at NewCtx. Host-side
+	// sharded data structures (e.g. the device's statistics counters) use it
+	// to spread contexts across shards without touching the simulated state.
+	// It never influences simulated cycles.
+	Shard uint32
 }
+
+var ctxSeq atomic.Uint32
 
 // NewCtx returns a fresh per-thread context with its own clock and TLB.
 func NewCtx(cfg *Config) *Ctx {
-	return &Ctx{Clock: NewClock(), TLB: NewTLB(cfg), Cat: CatApp}
+	return &Ctx{Clock: NewClock(), TLB: NewTLB(cfg), Cat: CatApp, Shard: ctxSeq.Add(1)}
 }
 
 // Charge adds n cycles to the context's current category.

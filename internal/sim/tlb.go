@@ -25,6 +25,7 @@ type TLB struct {
 // setAssoc is a small set-associative array of tags with round-robin-ish LRU.
 type setAssoc struct {
 	sets int
+	mask uint64 // sets-1 when sets is a power of two, else 0 (use modulo)
 	ways int
 	tags []uint64 // sets*ways entries; 0 means invalid (VPN 0 is never used)
 	age  []uint32
@@ -36,20 +37,33 @@ func newSetAssoc(entries, ways int) setAssoc {
 	if sets < 1 {
 		sets = 1
 	}
-	return setAssoc{
+	s := setAssoc{
 		sets: sets,
 		ways: ways,
 		tags: make([]uint64, sets*ways),
 		age:  make([]uint32, sets*ways),
 	}
+	if sets&(sets-1) == 0 {
+		s.mask = uint64(sets - 1)
+	}
+	return s
+}
+
+// setBase returns the first slice index of tag's set. The set count is a
+// runtime value, so the masked path spares a hardware divide on every
+// translation for the (default-config) power-of-two geometries.
+func (s *setAssoc) setBase(tag uint64) int {
+	if s.sets&(s.sets-1) == 0 {
+		return int(tag&s.mask) * s.ways
+	}
+	return int(tag%uint64(s.sets)) * s.ways
 }
 
 // lookup probes for tag; on miss it inserts tag, evicting the LRU way.
 // Returns true on hit.
 func (s *setAssoc) lookup(tag uint64) bool {
 	s.tick++
-	set := int(tag % uint64(s.sets))
-	base := set * s.ways
+	base := s.setBase(tag)
 	victim := base
 	oldest := s.age[base]
 	for i := 0; i < s.ways; i++ {
@@ -70,8 +84,7 @@ func (s *setAssoc) lookup(tag uint64) bool {
 
 // contains probes without inserting or touching LRU state.
 func (s *setAssoc) contains(tag uint64) bool {
-	set := int(tag % uint64(s.sets))
-	base := set * s.ways
+	base := s.setBase(tag)
 	for i := 0; i < s.ways; i++ {
 		if s.tags[base+i] == tag {
 			return true

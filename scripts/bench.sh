@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench.sh — produce the machine-readable host-performance record BENCH_1.json.
+#
+# Runs the Figure 5/14 drivers (the heaviest experiment fan-outs) serially and
+# at full parallelism, recording host seconds and total simulated cycles for
+# each. The simulated numbers must be identical between the two runs — the
+# parallel driver changes wall-clock only; the golden test pins this.
+#
+# Usage: scripts/bench.sh [scale]   (default 0.002, the bench_test.go default)
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.002}"
+OUT="BENCH_1.json"
+
+go build -o /tmp/ffccd-bench ./cmd/ffccd-bench
+
+/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -parallel 1 -json /tmp/bench_serial.json >/dev/null
+/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -json /tmp/bench_par_fig5.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -json /tmp/bench_par_fig14.json >/dev/null
+
+# Merge the three single-record arrays into one file.
+{
+  printf '[\n'
+  for f in /tmp/bench_serial.json /tmp/bench_par_fig5.json /tmp/bench_par_fig14.json; do
+    sed '1d;$d' "$f"
+    [ "$f" != /tmp/bench_par_fig14.json ] && printf ',\n'
+  done
+  printf '\n]\n'
+} >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
