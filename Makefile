@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-host golden clean
+.PHONY: all build test race vet check bench bench-host benchdiff golden clean
 
 all: check
 
@@ -26,11 +26,29 @@ bench:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
 # bench-host produces the machine-readable host-performance record
-# BENCH_1.json (see scripts/bench.sh and README.md).
+# BENCH_2.json (see scripts/bench.sh and README.md).
 bench-host:
 	scripts/bench.sh
 
-# golden re-checks that simulated cycle totals match the committed golden.
+# benchdiff compares two `go test -bench` outputs with benchstat, e.g.
+#   make bench > old.txt; <changes>; make bench > new.txt
+#   make benchdiff OLD=old.txt NEW=new.txt
+# benchstat is not vendored and this repo never installs tools from the
+# network; if it is missing, say where to get it and exit cleanly.
+OLD ?= old.txt
+NEW ?= new.txt
+benchdiff:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(OLD) $(NEW); \
+	else \
+		echo "benchdiff: benchstat not found in PATH."; \
+		echo "Install it on a networked machine (golang.org/x/perf/cmd/benchstat)"; \
+		echo "or diff $(OLD) and $(NEW) by hand; this target never installs tools."; \
+	fi
+
+# golden re-checks that simulated cycle totals match the committed golden —
+# each golden spec is replayed through BOTH the from-scratch path and the
+# checkpoint/fork path (the /scratch and /fork subtests).
 golden:
 	$(GO) test ./internal/experiments/ -run 'TestGoldenCycles|TestCycleDeterminism' -v
 

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ffccd/internal/experiments"
@@ -32,11 +34,18 @@ import (
 // metrics the experiment exposes. Simulated numbers must be identical across
 // revisions (see the golden test); host_seconds is the number being tracked.
 type benchRecord struct {
-	Experiment  string             `json:"experiment"`
-	Scale       float64            `json:"scale"`
-	Parallel    int                `json:"parallel"`
-	HostSeconds float64            `json:"host_seconds"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Experiment  string  `json:"experiment"`
+	Scale       float64 `json:"scale"`
+	Parallel    int     `json:"parallel"`
+	Fork        bool    `json:"fork"`
+	HostSeconds float64 `json:"host_seconds"`
+	Repeat      int     `json:"repeat,omitempty"`
+	// Fork-driver counters for this experiment (zero when -fork=false or
+	// the experiment has no scheme groups to share a prefix across).
+	ForkPrefixes    uint64             `json:"fork_prefixes,omitempty"`
+	ForkCheckpoints uint64             `json:"fork_checkpoints,omitempty"`
+	ForkRuns        uint64             `json:"fork_runs,omitempty"`
+	Metrics         map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -46,10 +55,32 @@ func main() {
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "experiment-driver worker count (0 = GOMAXPROCS or $FFCCD_PARALLEL)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
+	fork := flag.Bool("fork", true, "share checkpointed workload prefixes across a cell's schemes (host optimisation; simulated results are bit-identical either way)")
+	repeat := flag.Int("repeat", 1, "run each experiment N times, recording every repetition (host-time variance)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *parallel > 0 {
 		experiments.SetParallelism(*parallel)
+	}
+	experiments.SetFork(*fork)
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	type exp struct {
@@ -88,31 +119,39 @@ func main() {
 			continue
 		}
 		ran++
-		start := time.Now()
-		out, err := e.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
-			os.Exit(1)
-		}
-		elapsed := time.Since(start).Seconds()
-		fmt.Printf("==== %s (scale %g, %.1fs) ====\n%s\n", e.id, *scale, elapsed, out)
-		rec := benchRecord{
-			Experiment:  e.id,
-			Scale:       *scale,
-			Parallel:    experiments.Parallelism(),
-			HostSeconds: elapsed,
-		}
-		if m, ok := out.(interface{ Metrics() map[string]float64 }); ok {
-			rec.Metrics = m.Metrics()
-		}
-		records = append(records, rec)
-		if *csvDir != "" {
-			if c, ok := out.(interface{ CSV() string }); ok {
-				path := fmt.Sprintf("%s/%s.csv", *csvDir, e.id)
-				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
-				} else {
-					fmt.Printf("(csv written to %s)\n", path)
+		for rep := 1; rep <= *repeat; rep++ {
+			experiments.ResetForkCounters()
+			start := time.Now()
+			out, err := e.run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+			elapsed := time.Since(start).Seconds()
+			fmt.Printf("==== %s (scale %g, %.1fs) ====\n%s\n", e.id, *scale, elapsed, out)
+			rec := benchRecord{
+				Experiment:  e.id,
+				Scale:       *scale,
+				Parallel:    experiments.Parallelism(),
+				Fork:        experiments.ForkEnabled(),
+				HostSeconds: elapsed,
+			}
+			if *repeat > 1 {
+				rec.Repeat = rep
+			}
+			rec.ForkPrefixes, rec.ForkCheckpoints, rec.ForkRuns = experiments.ForkCounters()
+			if m, ok := out.(interface{ Metrics() map[string]float64 }); ok {
+				rec.Metrics = m.Metrics()
+			}
+			records = append(records, rec)
+			if *csvDir != "" && rep == 1 {
+				if c, ok := out.(interface{ CSV() string }); ok {
+					path := fmt.Sprintf("%s/%s.csv", *csvDir, e.id)
+					if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+						fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+					} else {
+						fmt.Printf("(csv written to %s)\n", path)
+					}
 				}
 			}
 		}
@@ -132,6 +171,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(benchmark records written to %s)\n", *jsonPath)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

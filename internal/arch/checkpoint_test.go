@@ -1,0 +1,236 @@
+package arch
+
+import (
+	"testing"
+
+	"ffccd/internal/pmem"
+	"ffccd/internal/sim"
+)
+
+// The checkpoint tests all follow the fork-driver shape: run a prefix,
+// checkpoint, then replay an identical continuation on (a) the original
+// machine and (b) a freshly constructed machine restored from the
+// checkpoint, and require bit-identical state — counters, simulated
+// cycles, and persisted media.
+
+// relocateLine drives one pending cacheline into the persistence domain.
+func relocateLine(dev *pmem.Device, ctx *sim.Ctx, dst uint64) {
+	dev.Relocate(ctx, dst, 1<<19, 64)
+	dev.Clwb(ctx, dst)
+	dev.Sfence(ctx)
+}
+
+const rbbBitmapBase = 1 << 20
+
+func rbbMachine(t *testing.T) (*sim.Config, *pmem.Device, *RBB) {
+	t.Helper()
+	cfg, dev, _ := testSetup()
+	rbb := NewRBB(cfg, dev)
+	rbb.Configure(rbbBitmapBase, 0, 256)
+	dev.SetRBB(rbb)
+	return cfg, dev, rbb
+}
+
+// rbbContinuation is the shared post-checkpoint op sequence: it mixes hits
+// on resident entries, misses that force evictions (dirty writebacks), and
+// reads through the merged view.
+func rbbContinuation(cfg *sim.Config, dev *pmem.Device, rbb *RBB, ctx *sim.Ctx) {
+	for f := 0; f < cfg.RBBEntries+3; f++ {
+		relocateLine(dev, ctx, uint64(f)<<FrameShift|uint64(f%8)<<pmem.LineShift)
+	}
+	relocateLine(dev, ctx, 2<<FrameShift|9<<pmem.LineShift) // hit or refetch
+	rbb.Read(ctx, 1)
+	rbb.Read(ctx, uint64(cfg.RBBEntries))
+}
+
+func compareRBB(t *testing.T, a, b *RBB, devA, devB *pmem.Device, ctxA, ctxB *sim.Ctx, nframes uint64) {
+	t.Helper()
+	if a.Hits != b.Hits || a.Misses != b.Misses || a.Writebacks != b.Writebacks {
+		t.Fatalf("counters diverged: orig %d/%d/%d, restored %d/%d/%d",
+			a.Hits, a.Misses, a.Writebacks, b.Hits, b.Misses, b.Writebacks)
+	}
+	for f := uint64(0); f < nframes; f++ {
+		if wa, wb := a.Read(nil, f), b.Read(nil, f); wa != wb {
+			t.Fatalf("frame %d reached word: orig %b, restored %b", f, wa, wb)
+		}
+	}
+	sa, sb := ctxA.Clock.Snapshot(), ctxB.Clock.Snapshot()
+	if sa != sb {
+		t.Fatalf("continuation cycles diverged: orig %v, restored %v", sa, sb)
+	}
+	bufA := make([]byte, 8*nframes)
+	bufB := make([]byte, 8*nframes)
+	devA.MediaRead(rbbBitmapBase, bufA)
+	devB.MediaRead(rbbBitmapBase, bufB)
+	if string(bufA) != string(bufB) {
+		t.Fatal("in-PM bitmap regions differ")
+	}
+}
+
+func TestRBBCheckpointRestoreWithDirtyEntries(t *testing.T) {
+	cfg, dev, rbb := rbbMachine(t)
+	ctx := sim.NewCtx(cfg)
+
+	// Prefix: warm the RBB past capacity so live entries are dirty and some
+	// words have already been written back to media.
+	for f := 0; f < cfg.RBBEntries+5; f++ {
+		relocateLine(dev, ctx, uint64(f)<<FrameShift)
+	}
+	if rbb.Writebacks == 0 {
+		t.Fatal("prefix produced no dirty evictions; test needs dirty entries")
+	}
+	devChk := dev.Checkpoint()
+	rbbChk := rbb.Checkpoint()
+
+	// Restore into a freshly built machine with the same geometry.
+	cfg2, dev2, _ := testSetup()
+	dev2.Restore(devChk)
+	rbb2 := NewRBB(cfg2, dev2)
+	rbb2.Restore(rbbChk)
+	dev2.SetRBB(rbb2)
+
+	ctxA, ctxB := sim.NewCtx(cfg), sim.NewCtx(cfg2)
+	rbbContinuation(cfg, dev, rbb, ctxA)
+	rbbContinuation(cfg2, dev2, rbb2, ctxB)
+	compareRBB(t, rbb, rbb2, dev, dev2, ctxA, ctxB, 256)
+}
+
+func TestRBBCrashAfterRestore(t *testing.T) {
+	cfg, dev, rbb := rbbMachine(t)
+	ctx := sim.NewCtx(cfg)
+	for f := 0; f < cfg.RBBEntries+5; f++ {
+		relocateLine(dev, ctx, uint64(f)<<FrameShift)
+	}
+	devChk := dev.Checkpoint()
+	rbbChk := rbb.Checkpoint()
+
+	cfg2, dev2, _ := testSetup()
+	dev2.Restore(devChk)
+	rbb2 := NewRBB(cfg2, dev2)
+	rbb2.Restore(rbbChk)
+	dev2.SetRBB(rbb2)
+
+	// Fault injection: run the same continuation on both machines, then
+	// crash both mid-epoch. The ADR path (power-loss flush of cache pending
+	// state and RBB entries) must persist identical reached bitmaps —
+	// i.e. a crash replayed from a restored machine recovers exactly like
+	// a crash on the original.
+	ctxA, ctxB := sim.NewCtx(cfg), sim.NewCtx(cfg2)
+	rbbContinuation(cfg, dev, rbb, ctxA)
+	rbbContinuation(cfg2, dev2, rbb2, ctxB)
+
+	dev.Crash()
+	rbb.PowerLossFlush()
+	dev2.Crash()
+	rbb2.PowerLossFlush()
+
+	bufA := make([]byte, 8*256)
+	bufB := make([]byte, 8*256)
+	dev.MediaRead(rbbBitmapBase, bufA)
+	dev2.MediaRead(rbbBitmapBase, bufB)
+	if string(bufA) != string(bufB) {
+		t.Fatal("post-crash in-PM bitmaps differ between original and restored machine")
+	}
+	// The surviving bitmap must still reflect the prefix's reached lines.
+	var word [8]byte
+	dev2.MediaRead(rbbBitmapBase+0*8, word[:])
+	if word[0]&1 == 0 {
+		t.Fatal("restored machine lost frame 0's reached bit across the crash")
+	}
+}
+
+func TestRBBRestoreGeometryMismatchPanics(t *testing.T) {
+	cfg, dev, rbb := rbbMachine(t)
+	chk := rbb.Checkpoint()
+	small := sim.DefaultConfig()
+	small.RBBEntries = cfg.RBBEntries / 2
+	other := NewRBB(&small, dev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restore with mismatched entry count did not panic")
+		}
+	}()
+	other.Restore(chk)
+}
+
+// clMachine builds a BloomSet over two page clusters, a forwarder for a few
+// addresses inside them, and a warm unit.
+func clMachine() (*sim.Config, *BloomSet, mapForwarder, *CheckLookupUnit) {
+	cfg := sim.DefaultConfig()
+	var pages []uint64
+	for i := uint64(0); i < 8; i++ {
+		pages = append(pages, (100+i)<<FrameShift)    // cluster A
+		pages = append(pages, (100000+i)<<FrameShift) // cluster B, far away
+	}
+	bs := NewBloomSetFromPages(pages, 4, 256)
+	fwd := mapForwarder{}
+	for i := uint64(0); i < 8; i++ {
+		fwd[(100+i)<<FrameShift|64] = (500 + i) << FrameShift
+		fwd[(100000+i)<<FrameShift|64] = (600 + i) << FrameShift
+	}
+	return &cfg, bs, fwd, NewCheckLookupUnit(&cfg)
+}
+
+// clContinuation mixes BFC hits, BFC refills (alternating clusters), PMFTLB
+// hits and misses, and outside-every-range addresses.
+func clContinuation(u *CheckLookupUnit, ctx *sim.Ctx, bs *BloomSet, fwd Forwarder, cfg *sim.Config) {
+	for i := uint64(0); i < uint64(cfg.PMFTLBEntries)+4; i++ {
+		u.CheckLookup(ctx, (100+i%8)<<FrameShift|64, bs, fwd)
+		u.CheckLookup(ctx, (100000+i%8)<<FrameShift|64, bs, fwd)
+		u.CheckLookup(ctx, (50000+i)<<FrameShift, bs, fwd) // outside all ranges
+	}
+}
+
+func TestCheckLookupUnitCheckpointRestore(t *testing.T) {
+	cfg, bs, fwd, u := clMachine()
+	warm := sim.NewCtx(cfg)
+	// Prefix: warm the BFC and partially fill the PMFTLB.
+	for i := uint64(0); i < 6; i++ {
+		u.CheckLookup(warm, (100+i)<<FrameShift|64, bs, fwd)
+	}
+	if u.PMFTLBMisses == 0 || u.BFCMisses == 0 {
+		t.Fatal("prefix did not warm the unit")
+	}
+	chk := u.Checkpoint()
+
+	u2 := NewCheckLookupUnit(cfg)
+	u2.Restore(chk)
+
+	ctxA, ctxB := sim.NewCtx(cfg), sim.NewCtx(cfg)
+	clContinuation(u, ctxA, bs, fwd, cfg)
+	clContinuation(u2, ctxB, bs, fwd, cfg)
+
+	if u.BFCHits != u2.BFCHits || u.BFCMisses != u2.BFCMisses {
+		t.Fatalf("BFC counters diverged: orig %d/%d, restored %d/%d",
+			u.BFCHits, u.BFCMisses, u2.BFCHits, u2.BFCMisses)
+	}
+	if u.PMFTLBHits != u2.PMFTLBHits || u.PMFTLBMisses != u2.PMFTLBMisses {
+		t.Fatalf("PMFTLB counters diverged: orig %d/%d, restored %d/%d",
+			u.PMFTLBHits, u.PMFTLBMisses, u2.PMFTLBHits, u2.PMFTLBMisses)
+	}
+	if sa, sb := ctxA.Clock.Snapshot(), ctxB.Clock.Snapshot(); sa != sb {
+		t.Fatalf("continuation cycles diverged: orig %v, restored %v", sa, sb)
+	}
+
+	// Functional results must match too (the structures are timing-only,
+	// but a restored unit must not change lookup answers).
+	dstA, okA := u.CheckLookup(sim.NewCtx(cfg), 103<<FrameShift|64, bs, fwd)
+	dstB, okB := u2.CheckLookup(sim.NewCtx(cfg), 103<<FrameShift|64, bs, fwd)
+	if dstA != dstB || okA != okB {
+		t.Fatalf("lookup result diverged: orig (%#x,%v), restored (%#x,%v)", dstA, okA, dstB, okB)
+	}
+}
+
+func TestCheckLookupUnitRestoreGeometryMismatchPanics(t *testing.T) {
+	cfg, _, _, u := clMachine()
+	chk := u.Checkpoint()
+	small := *cfg
+	small.PMFTLBEntries = cfg.PMFTLBEntries * 2
+	other := NewCheckLookupUnit(&small)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restore with mismatched PMFTLB size did not panic")
+		}
+	}()
+	other.Restore(chk)
+}

@@ -40,7 +40,7 @@ func (b *readBarrier) Resolve(ctx *sim.Ctx, ref pmop.Ptr) pmop.Ptr {
 		return ref
 	}
 
-	clCtx := ctx.WithCat(sim.CatCheckLookup)
+	clCtx := ctx.Derived(sim.CatCheckLookup)
 	var dstOff uint64
 	if ep.scheme == SchemeFFCCDCheckLookup {
 		// Hardware checklookup: BFC + PMFTLB (§4.3.2).
@@ -76,7 +76,7 @@ func (b *readBarrier) Resolve(ctx *sim.Ctx, ref pmop.Ptr) pmop.Ptr {
 		return ref.WithOffset(dstOff)
 	}
 	if !ep.isMoved(idx) {
-		e.relocateObject(ctx.WithCat(sim.CatCopy), ep, idx, true)
+		e.relocateObject(ctx.Derived(sim.CatCopy), ep, idx, true)
 	}
 	return ref.WithOffset(dstOff)
 }

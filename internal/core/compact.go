@@ -184,7 +184,7 @@ func (e *Engine) finishEpoch(ctx *sim.Ctx, ep *epochState) {
 	// Belt and braces: relocate anything the background mover missed.
 	for i := range ep.objects {
 		if !ep.isMoved(i) {
-			e.relocateObject(ctx.WithCat(sim.CatCopy), ep, i, false)
+			e.relocateObject(ctx.Derived(sim.CatCopy), ep, i, false)
 		}
 	}
 
@@ -196,7 +196,7 @@ func (e *Engine) finishEpoch(ctx *sim.Ctx, ep *epochState) {
 // finishEpochLocked is the terminate tail; the caller holds the world.
 func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
 	p := e.pool
-	gctx := ctx.WithCat(sim.CatGCMisc)
+	gctx := ctx.Derived(sim.CatGCMisc)
 
 	// Final reference fixup: one reachability pass rewriting every pointer
 	// that still aims into a relocation frame (§5: "defragmentation runs

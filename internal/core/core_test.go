@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"ffccd/internal/alloc"
@@ -455,6 +456,9 @@ func TestAutoTrigger(t *testing.T) {
 		}
 		fx.p.Free(fx.ctx, o)
 		deadline++
+		// The trigger goroutine needs CPU time; a tight alloc loop can
+		// starve it on GOMAXPROCS=1 under parallel-suite load.
+		runtime.Gosched()
 	}
 	e.Close()
 	if e.Stats().Cycles == 0 {

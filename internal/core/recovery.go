@@ -31,7 +31,7 @@ import (
 // tx rollback + allocator rebuild).
 func Recover(ctx *sim.Ctx, p *pmop.Pool, opt Options) (*Engine, error) {
 	e := NewEngine(p, opt)
-	if err := e.recover(ctx.WithCat(sim.CatRecovery)); err != nil {
+	if err := e.recover(ctx.Derived(sim.CatRecovery)); err != nil {
 		return nil, err
 	}
 	return e, nil

@@ -32,8 +32,8 @@ func (e *Engine) RunCycleSTW(ctx *sim.Ctx) (uint64, bool) {
 	defer p.ResumeWorld()
 	start := ctx.Clock.Total()
 
-	live := e.mark(ctx.WithCat(sim.CatMark), nil)
-	ep := e.summary(ctx.WithCat(sim.CatSummary), live)
+	live := e.mark(ctx.Derived(sim.CatMark), nil)
+	ep := e.summary(ctx.Derived(sim.CatSummary), live)
 	if ep == nil {
 		return ctx.Clock.Total() - start, false
 	}
@@ -43,7 +43,7 @@ func (e *Engine) RunCycleSTW(ctx *sim.Ctx) (uint64, bool) {
 
 	for i := range ep.objects {
 		if !ep.isMoved(i) {
-			e.relocateObject(ctx.WithCat(sim.CatCopy), ep, i, false)
+			e.relocateObject(ctx.Derived(sim.CatCopy), ep, i, false)
 		}
 	}
 	e.finishEpochLocked(ctx, ep)

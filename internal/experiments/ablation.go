@@ -118,7 +118,7 @@ func AblationPMFT(scale float64) (AblationPMFTResult, error) {
 		specs[i] = Spec{Store: "LL", Threads: 1, Scheme: m.scheme, Scale: scale, PageShift: 12, Seed: 31}
 		specs[i].Trigger, specs[i].Target = core.NormalParams()
 	}
-	outs, err := RunSpecs(specs)
+	outs, err := RunSpecsForked(specs)
 	if err != nil {
 		return res, err
 	}
@@ -172,7 +172,7 @@ func AblationWrites(scale float64) (AblationWritesResult, error) {
 		specs[i] = Spec{Store: "LL", Threads: 1, Scheme: scheme, Scale: scale, PageShift: 12, Seed: 41}
 		specs[i].Trigger, specs[i].Target = core.NormalParams()
 	}
-	outs, err := RunSpecs(specs)
+	outs, err := RunSpecsForked(specs)
 	if err != nil {
 		return res, err
 	}

@@ -50,8 +50,10 @@ type breakdownCell struct {
 
 // runBreakdowns measures every cell under every scheme against its no-GC
 // baseline. All runs of the whole figure — one baseline plus one run per
-// scheme for each cell — are fanned out together through RunSpecs, so a
-// figure's wall-clock is bounded by its slowest single run, not the sum.
+// scheme for each cell — are fanned out together, so a figure's wall-clock
+// is bounded by its slowest single run, not the sum. When the fork driver is
+// enabled, each cell's scheme axis shares one checkpointed workload prefix
+// (see fork.go) instead of rebuilding it per scheme.
 func runBreakdowns(cells []breakdownCell, scale float64, schemes []core.Scheme) ([]BreakdownRow, error) {
 	specs := make([]Spec, 0, len(cells)*(1+len(schemes)))
 	for _, cell := range cells {
@@ -67,7 +69,7 @@ func runBreakdowns(cells []breakdownCell, scale float64, schemes []core.Scheme) 
 			specs = append(specs, spec)
 		}
 	}
-	outs, err := RunSpecs(specs)
+	outs, err := RunSpecsForked(specs)
 	if err != nil {
 		return nil, err
 	}

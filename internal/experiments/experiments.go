@@ -248,6 +248,11 @@ func Run(spec Spec) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	if spec.Threads <= 1 {
+		// The whole run — workload, hooks and engine stepping — executes on
+		// one goroutine, so the device's internal locking can be elided.
+		env.RT.Device().SetExclusive(true)
+	}
 	store, err := BuildStore(env.Ctx, env.Pool, spec.Store, wl)
 	if err != nil {
 		return Outcome{}, err
@@ -306,6 +311,16 @@ func Run(spec Spec) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	out := assembleOutcome(spec, res, env.Ctx, gcCtx, eng, env.RT.Device())
+	env.RT.Device().ReleaseMedia()
+	return out, nil
+}
+
+// assembleOutcome builds the result record from a finished workload: app and
+// GC clocks merged, engine stats captured (and the engine closed), device
+// counters read. Shared by the scratch and fork paths so their outcome
+// assembly stays identical.
+func assembleOutcome(spec Spec, res workload.Result, appCtx, gcCtx *sim.Ctx, eng *core.Engine, dev *pmem.Device) Outcome {
 	out := Outcome{
 		Spec:           spec,
 		AvgFootprintMB: res.AvgFootprint / (1 << 20),
@@ -313,7 +328,7 @@ func Run(spec Spec) (Outcome, error) {
 		TotalOps:       res.TotalOps + res.Phases[0].Ops,
 	}
 	clk := sim.NewClock()
-	clk.Merge(env.Ctx.Clock)
+	clk.Merge(appCtx.Clock)
 	clk.Merge(gcCtx.Clock)
 	if eng != nil {
 		clk.Merge(eng.GCClock())
@@ -321,8 +336,8 @@ func Run(spec Spec) (Outcome, error) {
 		eng.Close()
 	}
 	out.Cycles = clk.Snapshot()
-	out.Device = env.RT.Device().Stats()
-	return out, nil
+	out.Device = dev.Stats()
+	return out
 }
 
 // runConcurrent drives the workload from several threads over disjoint key

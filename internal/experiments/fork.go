@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/core"
+	"ffccd/internal/ds"
+	"ffccd/internal/kv"
+	"ffccd/internal/pmem"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+	"ffccd/internal/workload"
+)
+
+// The fork driver (DESIGN.md §7, "Checkpoint/fork"): every scheme of a
+// breakdown cell replays the identical workload prefix up to the first
+// successful BeginCycle — the scheme-divergence point — so that prefix is
+// built once, checkpointed, and each scheme's run forked from it.
+//
+// Why the divergence point is exactly there: a BeginCycle attempt's
+// *failure* path (mark, leak-reclaim resync, frame ranking, the nil
+// verdicts "fragmentation at/below target" and "no positive net gain") is
+// decided purely by heap state and charges identical cycles under every
+// scheme — every scheme-dependent effect of summary() (PMFT construction,
+// moved-bitmap clears, RBB arming, the compacting phase word) happens only
+// after the verdict is "go". Hence all schemes attempt at the same sample
+// points with identical outcomes until the first success, where they
+// diverge. The prefix runs those shared attempts under a neutral Espresso
+// engine, checkpoints the machine *before* each attempt (attempts mutate
+// the heap and clocks), and suspends when one succeeds; each scheme then
+// restores the pre-attempt machine and re-runs the attempt with its own
+// engine.
+//
+// Forked runs reproduce scratch runs bit-identically in simulated cycle
+// totals, device counters and frag ratios (pinned by TestGoldenCycles'
+// fork replay and TestForkMatchesScratch). Engine counters are the one
+// deliberate exception: a scratch engine accumulates leak-reclaim counts
+// from the shared prefix's failed attempts, while a fork's engine is born
+// at the divergence point — the simulated machine state is identical, only
+// the host-side attribution of pre-divergence bookkeeping differs.
+
+// forkEnabled gates the fork driver (on by default; cmd/ffccd-bench -fork).
+var forkEnabled atomic.Bool
+
+func init() { forkEnabled.Store(true) }
+
+// SetFork enables or disables the checkpoint/fork driver.
+func SetFork(on bool) { forkEnabled.Store(on) }
+
+// ForkEnabled reports whether the fork driver is active.
+func ForkEnabled() bool { return forkEnabled.Load() }
+
+// Fork-driver counters (reported in BENCH_2.json).
+var (
+	forkPrefixes    atomic.Uint64 // shared prefixes built
+	forkCheckpoints atomic.Uint64 // machine checkpoints taken (one per BeginCycle attempt)
+	forkRuns        atomic.Uint64 // runs served from a checkpoint instead of from scratch
+)
+
+// ForkCounters returns (prefixes built, checkpoints taken, forked runs).
+func ForkCounters() (prefixes, checkpoints, forks uint64) {
+	return forkPrefixes.Load(), forkCheckpoints.Load(), forkRuns.Load()
+}
+
+// ResetForkCounters zeroes the fork-driver counters.
+func ResetForkCounters() {
+	forkPrefixes.Store(0)
+	forkCheckpoints.Store(0)
+	forkRuns.Store(0)
+}
+
+// machineCheckpoint captures the whole simulated machine at a candidate
+// divergence point: device (media, cache, in-flight lines, counters),
+// allocator, both simulation contexts (clocks, TLBs, pending flushes), the
+// pool's op counter and the workload runner position.
+type machineCheckpoint struct {
+	dev     pmem.DeviceCheckpoint
+	heap    alloc.HeapCheckpoint
+	appCtx  sim.CtxCheckpoint
+	gcCtx   sim.CtxCheckpoint
+	ops     uint64
+	txOrder []int
+	runner  *workload.RunnerCheckpoint
+}
+
+// prefixState is the outcome of building one cell's shared prefix: either a
+// checkpoint at the divergence point (forked=true) plus the prefix store to
+// clone volatile state from, or — when no epoch ever began — the completed
+// run, whose result is scheme-independent.
+type prefixState struct {
+	spec   Spec
+	forked bool
+	chk    machineCheckpoint
+	store  ds.Store
+
+	outcome Outcome // valid when !forked (Spec.Scheme must be overwritten)
+}
+
+func captureMachine(chk *machineCheckpoint, env *Env, gcCtx *sim.Ctx) {
+	env.RT.Device().CheckpointInto(&chk.dev)
+	env.Pool.Heap().CheckpointInto(&chk.heap)
+	env.Ctx.CheckpointInto(&chk.appCtx)
+	gcCtx.CheckpointInto(&chk.gcCtx)
+	chk.ops = env.Pool.Ops.Load()
+	chk.txOrder = env.Pool.TxSlotOrder()
+}
+
+// buildPrefix runs spec's workload up to the scheme-divergence point.
+// spec's own Scheme is irrelevant (the prefix engine is the neutral
+// Espresso one); Trigger/Target/BatchObjects must match the specs that will
+// fork from it, since failed BeginCycle attempts depend on them.
+func buildPrefix(spec Spec) (*prefixState, error) {
+	forkPrefixes.Add(1)
+	wl := wlFor(spec)
+	env, err := NewEnv(poolSizeFor(wl), spec.PageShift)
+	if err != nil {
+		return nil, err
+	}
+	env.RT.Device().SetExclusive(true)
+	store, err := BuildStore(env.Ctx, env.Pool, spec.Store, wl)
+	if err != nil {
+		return nil, err
+	}
+	gcCtx := sim.NewCtx(&env.Cfg)
+	eng := core.NewEngine(env.Pool, core.Options{
+		Scheme:       core.SchemeEspresso,
+		TriggerRatio: spec.Trigger,
+		TargetRatio:  spec.Target,
+		BatchObjects: 64,
+	})
+	pre := &prefixState{spec: spec}
+
+	var r *workload.Runner
+	// No PreSample hook: before the first successful BeginCycle no epoch is
+	// ever open, so the scratch path's "finish an open epoch" hook is a
+	// simulated no-op there too.
+	wl.Maintenance = func() {
+		if env.Pool.Heap().Frag(spec.PageShift).FragRatio <= spec.Trigger {
+			return
+		}
+		// Checkpoint before the attempt: a failed attempt still reclaims
+		// leaks and charges mark/summary cycles, all of which is shared
+		// prefix; a successful one diverges, so the forks must re-run it.
+		captureMachine(&pre.chk, env, gcCtx)
+		forkCheckpoints.Add(1)
+		if eng.BeginCycle(gcCtx) {
+			r.RequestStop()
+		}
+	}
+	r = workload.NewRunner(env.Ctx, env.Pool, store, wl)
+	res, finished, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	if finished {
+		// Fragmentation never produced a viable epoch: no scheme-dependent
+		// machinery ever engaged, so this completed run is every scheme's
+		// result.
+		pre.outcome = assembleOutcome(spec, res, env.Ctx, gcCtx, eng, env.RT.Device())
+		env.RT.Device().ReleaseMedia()
+		return pre, nil
+	}
+	// Suspended inside the successful attempt's Maintenance call: the
+	// machine checkpoint predates the attempt, and the runner checkpoint
+	// (position, RNG draw count, accumulators) re-enters Maintenance first
+	// on resume. BeginCycle itself mutates no store/runner state, so
+	// capturing these after suspension matches the machine checkpoint.
+	pre.chk.runner = r.Checkpoint()
+	pre.store = store
+	pre.forked = true
+	// The prefix machine is no longer needed: forks restore from the
+	// checkpoint, and store.Fork copies volatile handles without touching
+	// the device.
+	env.RT.Device().ReleaseMedia()
+	return pre, nil
+}
+
+// runFork materializes a fresh machine from pre's checkpoint and finishes
+// the workload under spec.Scheme. Safe to call concurrently for different
+// schemes: the checkpoint and prefix store are only read.
+func runFork(pre *prefixState, spec Spec) (Outcome, error) {
+	forkRuns.Add(1)
+	wl := wlFor(spec)
+
+	cfg := sim.DefaultConfig()
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	kv.RegisterTypes(reg)
+	dev := pmem.NewDeviceForRestore(&cfg, poolSizeFor(wl)*2)
+	dev.Restore(&pre.chk.dev)
+	dev.SetExclusive(true)
+	rt, err := pmop.AttachAtEpoch(&cfg, dev, 0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	pool, err := rt.Open("bench", reg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	pool.Heap().Restore(&pre.chk.heap)
+	pool.Ops.Store(pre.chk.ops)
+	pool.RestoreTxSlotOrder(pre.chk.txOrder)
+	ctx := sim.NewCtx(&cfg)
+	ctx.Restore(&pre.chk.appCtx)
+	gcCtx := sim.NewCtx(&cfg)
+	gcCtx.Restore(&pre.chk.gcCtx)
+	store := pre.store.(ds.Forker).Fork(pool)
+
+	eng := core.NewEngine(pool, core.Options{
+		Scheme:       spec.Scheme,
+		TriggerRatio: spec.Trigger,
+		TargetRatio:  spec.Target,
+		BatchObjects: 64,
+	})
+	// The standard scheme hooks (identical to Run's): the resumed runner's
+	// first action is this Maintenance, re-running the divergence attempt
+	// under spec.Scheme.
+	var epochMu sync.Mutex
+	epochOpen := false
+	wl.PreSample = func() {
+		epochMu.Lock()
+		defer epochMu.Unlock()
+		if epochOpen {
+			eng.StepCompaction(gcCtx, 1<<30)
+			eng.FinishCycle(gcCtx)
+			epochOpen = false
+		}
+	}
+	wl.Maintenance = func() {
+		epochMu.Lock()
+		defer epochMu.Unlock()
+		if !epochOpen && pool.Heap().Frag(spec.PageShift).FragRatio > spec.Trigger {
+			epochOpen = eng.BeginCycle(gcCtx)
+		}
+	}
+	r, err := workload.ResumeRunner(ctx, pool, store, wl, pre.chk.runner)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, finished, err := r.Run()
+	if err != nil {
+		return Outcome{}, err
+	}
+	if !finished {
+		return Outcome{}, fmt.Errorf("experiments: forked run suspended unexpectedly")
+	}
+	out := assembleOutcome(spec, res, ctx, gcCtx, eng, dev)
+	dev.ReleaseMedia()
+	return out, nil
+}
+
+// runForked executes one spec through the fork path: prefix to the
+// divergence point, then a single fork. Specs the fork protocol cannot
+// serve (no engine, or goroutine-nondeterministic multi-thread runs) fall
+// back to Run.
+func runForked(spec Spec) (Outcome, error) {
+	if spec.Scheme == core.SchemeNone || spec.Threads > 1 {
+		return Run(spec)
+	}
+	pre, err := buildPrefix(spec)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if !pre.forked {
+		out := pre.outcome
+		out.Spec = spec
+		return out, nil
+	}
+	return runFork(pre, spec)
+}
+
+// forkGroupKey identifies specs that share a bit-identical prefix: same
+// everything except the scheme. Spec is comparable, so the zeroed-scheme
+// copy serves as the map key.
+func forkGroupKey(s Spec) Spec {
+	s.Scheme = core.SchemeNone
+	return s
+}
+
+// RunSpecsForked executes every spec like RunSpecs, but batches
+// single-threaded scheme runs that share a prefix (same store, scale, seed,
+// trigger, target, page size) through the fork driver: one prefix build
+// plus one forked run per scheme, instead of len(schemes) full runs.
+// Outcomes are returned in spec order and are bit-identical (cycles, device
+// counters, frag ratios) to RunSpecs'. Baselines (SchemeNone), concurrent
+// specs, and singleton groups run from scratch — a lone scheme gains
+// nothing from checkpointing.
+func RunSpecsForked(specs []Spec) ([]Outcome, error) {
+	if !ForkEnabled() {
+		return RunSpecs(specs)
+	}
+	groups := make(map[Spec][]int)
+	var groupOrder []Spec
+	for i, s := range specs {
+		if s.Scheme == core.SchemeNone || s.Threads > 1 {
+			continue
+		}
+		k := forkGroupKey(s)
+		if _, seen := groups[k]; !seen {
+			groupOrder = append(groupOrder, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	// Units of parallel work: every scratch spec individually, plus every
+	// multi-spec fork group (whose members fan out again once its prefix
+	// exists).
+	type unit struct {
+		specIdx  int   // >= 0: scratch run of specs[specIdx]
+		groupIdx []int // else: fork group over these spec indices
+	}
+	var units []unit
+	inGroup := make([]bool, len(specs))
+	for _, k := range groupOrder {
+		idxs := groups[k]
+		if len(idxs) < 2 {
+			continue
+		}
+		for _, i := range idxs {
+			inGroup[i] = true
+		}
+		units = append(units, unit{specIdx: -1, groupIdx: idxs})
+	}
+	for i := range specs {
+		if !inGroup[i] {
+			units = append(units, unit{specIdx: i})
+		}
+	}
+
+	outs := make([]Outcome, len(specs))
+	err := parallelFor(len(units), func(u int) error {
+		if i := units[u].specIdx; i >= 0 {
+			var err error
+			outs[i], err = Run(specs[i])
+			return err
+		}
+		idxs := units[u].groupIdx
+		pre, err := buildPrefix(specs[idxs[0]])
+		if err != nil {
+			return err
+		}
+		if !pre.forked {
+			for _, i := range idxs {
+				outs[i] = pre.outcome
+				outs[i].Spec = specs[i]
+			}
+			return nil
+		}
+		return parallelFor(len(idxs), func(j int) error {
+			var err error
+			outs[idxs[j]], err = runFork(pre, specs[idxs[j]])
+			return err
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}

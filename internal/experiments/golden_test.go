@@ -66,50 +66,66 @@ func TestGoldenCycles(t *testing.T) {
 	for _, g := range golden {
 		g := g
 		name := fmt.Sprintf("%s_%s_shift%d_seed%d", g.Store, g.Scheme, g.PageShift, g.Seed)
-		t.Run(name, func(t *testing.T) {
+		scheme, ok := schemeByName(g.Scheme)
+		if !ok {
+			t.Fatalf("unknown scheme %q", g.Scheme)
+		}
+		spec := Spec{
+			Store: g.Store, Threads: g.Threads, Scheme: scheme,
+			Trigger: g.Trigger, Target: g.Target,
+			Scale: g.Scale, PageShift: g.PageShift, Seed: g.Seed,
+		}
+		// Every golden spec must reproduce through both execution paths:
+		// from scratch, and via the checkpoint/fork driver.
+		t.Run(name+"/scratch", func(t *testing.T) {
 			t.Parallel()
-			scheme, ok := schemeByName(g.Scheme)
-			if !ok {
-				t.Fatalf("unknown scheme %q", g.Scheme)
-			}
-			spec := Spec{
-				Store: g.Store, Threads: g.Threads, Scheme: scheme,
-				Trigger: g.Trigger, Target: g.Target,
-				Scale: g.Scale, PageShift: g.PageShift, Seed: g.Seed,
-			}
 			out, err := Run(spec)
 			if err != nil {
 				t.Fatal(err)
 			}
-			for cat, want := range g.Cycles {
-				if got := out.Cycles[cat]; got != want {
-					t.Errorf("cycles[%d] = %d, golden %d", cat, got, want)
-				}
-			}
-			if got := fmt.Sprintf("%.9f", out.FragRatio()); got != g.FragRatio {
-				t.Errorf("fragRatio = %s, golden %s", got, g.FragRatio)
-			}
-			dev := out.Device
-			counters := []struct {
-				name string
-				got  uint64
-				want uint64
-			}{
-				{"loads", dev.Loads, g.Loads},
-				{"stores", dev.Stores, g.Stores},
-				{"mediaWrites", dev.MediaWrites, g.MediaWrites},
-				{"mediaReads", dev.MediaReads, g.MediaReads},
-				{"clwbs", dev.Clwbs, g.Clwbs},
-				{"sfences", dev.Sfences, g.Sfences},
-				{"relocateOps", dev.RelocateOps, g.RelocateOps},
-				{"pendingReach", dev.PendingReach, g.PendingReach},
-			}
-			for _, c := range counters {
-				if c.got != c.want {
-					t.Errorf("device.%s = %d, golden %d", c.name, c.got, c.want)
-				}
-			}
+			checkGolden(t, out, g)
 		})
+		t.Run(name+"/fork", func(t *testing.T) {
+			t.Parallel()
+			out, err := runForked(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, out, g)
+		})
+	}
+}
+
+// checkGolden compares an outcome against one golden entry.
+func checkGolden(t *testing.T, out Outcome, g goldenRun) {
+	t.Helper()
+	for cat, want := range g.Cycles {
+		if got := out.Cycles[cat]; got != want {
+			t.Errorf("cycles[%d] = %d, golden %d", cat, got, want)
+		}
+	}
+	if got := fmt.Sprintf("%.9f", out.FragRatio()); got != g.FragRatio {
+		t.Errorf("fragRatio = %s, golden %s", got, g.FragRatio)
+	}
+	dev := out.Device
+	counters := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"loads", dev.Loads, g.Loads},
+		{"stores", dev.Stores, g.Stores},
+		{"mediaWrites", dev.MediaWrites, g.MediaWrites},
+		{"mediaReads", dev.MediaReads, g.MediaReads},
+		{"clwbs", dev.Clwbs, g.Clwbs},
+		{"sfences", dev.Sfences, g.Sfences},
+		{"relocateOps", dev.RelocateOps, g.RelocateOps},
+		{"pendingReach", dev.PendingReach, g.PendingReach},
+	}
+	for _, c := range counters {
+		if c.got != c.want {
+			t.Errorf("device.%s = %d, golden %d", c.name, c.got, c.want)
+		}
 	}
 }
 

@@ -74,7 +74,7 @@ func Table3(scale float64) (Table3Result, error) {
 		specs = append(specs, seededSpecs(normal)...)
 		specs = append(specs, seededSpecs(relaxed)...)
 	}
-	outs, err := RunSpecs(specs)
+	outs, err := RunSpecsForked(specs)
 	if err != nil {
 		return res, err
 	}
@@ -150,7 +150,7 @@ func Table4(scale float64) (Table4Result, error) {
 		specs = append(specs, seededSpecs(base)...)
 		specs = append(specs, seededSpecs(ours)...)
 	}
-	outs, err := RunSpecs(specs)
+	outs, err := RunSpecsForked(specs)
 	if err != nil {
 		return res, err
 	}

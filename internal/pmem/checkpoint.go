@@ -1,0 +1,116 @@
+package pmem
+
+// Device checkpoint/restore for the fork-based experiment driver
+// (DESIGN.md §7): capture the complete simulated machine-memory state —
+// persistent media, every cache set's tags/ages/lines/LRU ticks, the
+// in-flight (clwb'd, unfenced) lines, the pending-set list, eADR mode and
+// the cumulative counters — and later reproduce it bit-identically on a
+// fresh device of the same geometry. CheckpointInto reuses the checkpoint's
+// buffers (the media copy dominates), so a driver that re-checkpoints at
+// every candidate fork point allocates only on the first capture.
+
+// setCheckpoint is a deep copy of one cache set's volatile state.
+type setCheckpoint struct {
+	Tags     []uint64
+	Ages     []uint32
+	Ways     []cacheLine
+	Tick     uint32
+	Inflight []inflightEntry
+	Enqueued bool
+}
+
+// DeviceCheckpoint is a deep, immutable-by-convention copy of a device's
+// state. One checkpoint may be restored into any number of devices (fork
+// fan-out reads it concurrently; Restore only reads the checkpoint).
+type DeviceCheckpoint struct {
+	Media []byte
+	Sets  []setCheckpoint
+	Pend  []int
+	EADR  bool
+
+	// Stats holds the counter totals (summed over shards). The per-shard
+	// spread is host-scheduling detail, not simulated state, so Restore
+	// deposits the totals into shard 0 — Stats() sums shards and is exact
+	// either way.
+	Stats [statCount]uint64
+}
+
+// Checkpoint captures the device state. Call only on a quiescent device.
+func (d *Device) Checkpoint() *DeviceCheckpoint {
+	c := &DeviceCheckpoint{}
+	d.CheckpointInto(c)
+	return c
+}
+
+// CheckpointInto captures the device state into c, reusing c's buffers.
+// Call only on a quiescent device.
+func (d *Device) CheckpointInto(c *DeviceCheckpoint) {
+	if cap(c.Media) < len(d.media) {
+		c.Media = make([]byte, len(d.media))
+	}
+	c.Media = c.Media[:len(d.media)]
+	copy(c.Media, d.media)
+
+	if len(c.Sets) != len(d.sets) {
+		c.Sets = make([]setCheckpoint, len(d.sets))
+	}
+	for i := range d.sets {
+		set := &d.sets[i]
+		cs := &c.Sets[i]
+		if cap(cs.Tags) < d.nway {
+			cs.Tags = make([]uint64, d.nway)
+			cs.Ages = make([]uint32, d.nway)
+			cs.Ways = make([]cacheLine, d.nway)
+		}
+		cs.Tags = cs.Tags[:d.nway]
+		cs.Ages = cs.Ages[:d.nway]
+		cs.Ways = cs.Ways[:d.nway]
+		copy(cs.Tags, set.tags)
+		copy(cs.Ages, set.ages)
+		copy(cs.Ways, set.ways)
+		cs.Tick = set.tick
+		cs.Inflight = append(cs.Inflight[:0], set.inflight...)
+		cs.Enqueued = set.enqueued
+	}
+	c.Pend = append(c.Pend[:0], d.pend...)
+	c.EADR = d.eADR.Load()
+
+	var t [statCount]uint64
+	for i := range d.stat {
+		for j := 0; j < statCount; j++ {
+			t[j] += d.stat[i].c[j].Load()
+		}
+	}
+	c.Stats = t
+}
+
+// Restore overwrites the device's state from c. The device must have the
+// same media size and cache geometry as the checkpoint's source. Call only
+// on a quiescent device; the checkpoint itself is not modified, so several
+// devices may restore from the same checkpoint concurrently.
+func (d *Device) Restore(c *DeviceCheckpoint) {
+	if len(c.Media) != len(d.media) || len(c.Sets) != len(d.sets) {
+		panic("pmem: Restore geometry mismatch")
+	}
+	copy(d.media, c.Media)
+	for i := range d.sets {
+		set := &d.sets[i]
+		cs := &c.Sets[i]
+		copy(set.tags, cs.Tags)
+		copy(set.ages, cs.Ages)
+		copy(set.ways, cs.Ways)
+		set.tick = cs.Tick
+		set.inflight = append(set.inflight[:0], cs.Inflight...)
+		set.enqueued = cs.Enqueued
+	}
+	d.pend = append(d.pend[:0], c.Pend...)
+	d.eADR.Store(c.EADR)
+	for i := range d.stat {
+		for j := 0; j < statCount; j++ {
+			d.stat[i].c[j].Store(0)
+		}
+	}
+	for j := 0; j < statCount; j++ {
+		d.stat[0].c[j].Store(c.Stats[j])
+	}
+}

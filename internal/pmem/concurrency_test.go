@@ -103,7 +103,7 @@ func TestSetIndexMatchesModulo(t *testing.T) {
 	for i := uint64(0); i < 1<<16; i++ {
 		check(i)
 	}
-	for _, edge := range []uint64{1<<32 - 1, 1<<32 - 2, 1<<31, 1<<31 - 1, 3072, 3071, 3073} {
+	for _, edge := range []uint64{1<<32 - 1, 1<<32 - 2, 1 << 31, 1<<31 - 1, 3072, 3071, 3073} {
 		check(edge)
 	}
 	// An LCG walk over the rest of the 32-bit index space.
@@ -124,8 +124,8 @@ func TestRelocatePartsAllocFree(t *testing.T) {
 	d := NewDevice(&cfg, 1<<20)
 	ctx := sim.NewCtx(&cfg)
 	parts := []RelocatePart{
-		{Dst: 4096, Src: 64, N: 200},       // unaligned, multi-line
-		{Dst: 4296, Src: 1024, N: 24},      // shares a destination line
+		{Dst: 4096, Src: 64, N: 200},        // unaligned, multi-line
+		{Dst: 4296, Src: 1024, N: 24},       // shares a destination line
 		{Dst: 8192, Src: 2048, N: LineSize}, // full aligned line
 	}
 	d.RelocateParts(ctx, parts) // warm the pooled scratch

@@ -86,6 +86,10 @@ type cacheSet struct {
 	ages []uint32 // LRU age per way
 	ways []cacheLine
 	tick uint32
+	// mruWay is a host-side hint: the way of the most recent hit. It is
+	// always validated against tags before use, so stale values (including
+	// across a checkpoint restore) only cost the full scan they avoid.
+	mruWay uint32
 
 	// inflight holds this set's clwb'd-but-unfenced lines (guarded by mu).
 	// The slice's capacity is retained across drains so the steady state
@@ -128,7 +132,34 @@ type Device struct {
 
 	eADR atomic.Bool
 
+	// exclusive elides the per-access host locks (per-set, pending-set and
+	// RBB mutexes) when a single goroutine owns the device — the dominant
+	// experiment configuration (Threads == 1, where workload and GC share one
+	// simulation thread). Purely a host optimization: simulated behavior is
+	// identical either way. May only be toggled while the device is quiescent,
+	// and must stay false whenever two goroutines can touch the device.
+	exclusive bool
+
 	stat [statShards]statShard
+}
+
+// SetExclusive declares that exactly one goroutine will use the device until
+// the flag is cleared, allowing the per-access locks to be skipped. Call only
+// on a quiescent device.
+func (d *Device) SetExclusive(on bool) { d.exclusive = on }
+
+// lockSet/unlockSet guard a cache set's per-access state, compiling to a
+// plain branch in exclusive mode.
+func (d *Device) lockSet(set *cacheSet) {
+	if !d.exclusive {
+		set.mu.Lock()
+	}
+}
+
+func (d *Device) unlockSet(set *cacheSet) {
+	if !d.exclusive {
+		set.mu.Unlock()
+	}
 }
 
 // SetEADR switches the platform persistence domain to eADR (§4.4): on power
@@ -143,6 +174,38 @@ func (d *Device) EADR() bool { return d.eADR.Load() }
 
 // NewDevice creates a device with size bytes of persistent media.
 func NewDevice(cfg *sim.Config, size uint64) *Device {
+	return newDevice(cfg, make([]byte, size))
+}
+
+// mediaPool recycles media arrays across short-lived simulated devices: the
+// fork-based experiment driver creates (and drops) one multi-MB device per
+// forked run, and zeroing a fresh array each time dominates its setup cost.
+var mediaPool sync.Pool
+
+// NewDeviceForRestore creates a device whose media contents are UNDEFINED —
+// possibly recycled from a released device. The caller must Restore a
+// checkpoint (which overwrites all media) before any other use. Pair with
+// ReleaseMedia to recycle the array.
+func NewDeviceForRestore(cfg *sim.Config, size uint64) *Device {
+	if v := mediaPool.Get(); v != nil {
+		if b := v.([]byte); uint64(cap(b)) >= size {
+			return newDevice(cfg, b[:size])
+		}
+	}
+	return newDevice(cfg, make([]byte, size))
+}
+
+// ReleaseMedia returns the device's media array to the recycle pool. The
+// device is unusable afterwards; callers do this only when dropping it.
+func (d *Device) ReleaseMedia() {
+	if d.media != nil {
+		mediaPool.Put(d.media)
+		d.media = nil
+	}
+}
+
+func newDevice(cfg *sim.Config, media []byte) *Device {
+	size := uint64(len(media))
 	nline := cfg.CacheBytes / cfg.CacheLineSize
 	nway := cfg.CacheWays
 	nset := nline / nway
@@ -151,7 +214,7 @@ func NewDevice(cfg *sim.Config, size uint64) *Device {
 	}
 	d := &Device{
 		cfg:    cfg,
-		media:  make([]byte, size),
+		media:  media,
 		nset:   nset,
 		nway:   nway,
 		sets:   make([]cacheSet, nset),
@@ -213,9 +276,14 @@ func (d *Device) checkRange(addr, n uint64) {
 // notifyReached reports a pending line's arrival in the persistence domain.
 func (d *Device) notifyReached(ctx *sim.Ctx, lineIdx uint64) {
 	d.lineShard(lineIdx).c[cPendingReach].Add(1)
-	d.rbbMu.Lock()
-	sink := d.rbb
-	d.rbbMu.Unlock()
+	var sink RBBSink
+	if d.exclusive {
+		sink = d.rbb
+	} else {
+		d.rbbMu.Lock()
+		sink = d.rbb
+		d.rbbMu.Unlock()
+	}
 	if sink != nil {
 		sink.LineReached(ctx, lineIdx<<LineShift)
 	}

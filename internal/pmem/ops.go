@@ -23,14 +23,20 @@ func (d *Device) fillLine(set *cacheSet, lineIdx uint64, buf *[LineSize]byte) {
 // access hit in the cache. The caller mutates the line and unlocks set.mu.
 func (d *Device) lockLine(ctx *sim.Ctx, lineIdx uint64) (set *cacheSet, line *cacheLine, hit bool) {
 	set = d.setOf(lineIdx)
-	set.mu.Lock()
-	set.tick++
+	d.lockSet(set)
 	tag := lineIdx + 1
+	if w := set.mruWay; set.tags[w] == tag {
+		set.tick++
+		set.ages[w] = set.tick
+		return set, &set.ways[w], true
+	}
+	set.tick++
 	victim := 0
 	var oldest uint32 = ^uint32(0)
 	for w, t := range set.tags {
 		if t == tag {
 			set.ages[w] = set.tick
+			set.mruWay = uint32(w)
 			return set, &set.ways[w], true
 		}
 		if t == 0 {
@@ -51,6 +57,7 @@ func (d *Device) lockLine(ctx *sim.Ctx, lineIdx uint64) (set *cacheSet, line *ca
 	}
 	set.tags[victim] = tag
 	set.ages[victim] = set.tick
+	set.mruWay = uint32(victim)
 	l.dirty = false
 	l.pending = false
 	d.fillLine(set, lineIdx, &l.data)
@@ -70,7 +77,7 @@ func (d *Device) Load(ctx *sim.Ctx, addr uint64, buf []byte) {
 		// case — field reads, pointers, headers).
 		set, l, hit := d.lockLine(ctx, lineIdx)
 		copy(buf, l.data[off:off+uint64(len(buf))])
-		set.mu.Unlock()
+		d.unlockSet(set)
 		shard.c[cLoads].Add(1)
 		if hit {
 			ctx.Charge(d.cfg.L2Latency)
@@ -92,7 +99,7 @@ func (d *Device) Load(ctx *sim.Ctx, addr uint64, buf []byte) {
 		}
 		set, l, hit := d.lockLine(ctx, lineIdx)
 		copy(buf[:n], l.data[off:off+n])
-		set.mu.Unlock()
+		d.unlockSet(set)
 		if hit {
 			hits++
 		} else {
@@ -130,7 +137,7 @@ func (d *Device) storeInternal(ctx *sim.Ctx, addr uint64, data []byte, pending b
 		if pending {
 			l.pending = true
 		}
-		set.mu.Unlock()
+		d.unlockSet(set)
 		shard.c[cStores].Add(1)
 		if hit {
 			ctx.Charge(d.cfg.L2Latency)
@@ -156,7 +163,7 @@ func (d *Device) storeInternal(ctx *sim.Ctx, addr uint64, data []byte, pending b
 		if pending {
 			l.pending = true
 		}
-		set.mu.Unlock()
+		d.unlockSet(set)
 		if hit {
 			hits++
 		} else {
@@ -185,7 +192,7 @@ func (d *Device) Clwb(ctx *sim.Ctx, addr uint64) {
 	lineIdx := addr >> LineShift
 	d.lineShard(lineIdx).c[cClwbs].Add(1)
 	set := d.setOf(lineIdx)
-	set.mu.Lock()
+	d.lockSet(set)
 	for w, t := range set.tags {
 		if t == lineIdx+1 {
 			l := &set.ways[w]
@@ -201,9 +208,13 @@ func (d *Device) Clwb(ctx *sim.Ctx, addr uint64) {
 					if !set.enqueued {
 						set.enqueued = true
 						si := d.setIndex(lineIdx)
-						d.pendMu.Lock()
-						d.pend = append(d.pend, si)
-						d.pendMu.Unlock()
+						if d.exclusive {
+							d.pend = append(d.pend, si)
+						} else {
+							d.pendMu.Lock()
+							d.pend = append(d.pend, si)
+							d.pendMu.Unlock()
+						}
 					}
 				}
 				l.dirty = false
@@ -213,7 +224,7 @@ func (d *Device) Clwb(ctx *sim.Ctx, addr uint64) {
 			break
 		}
 	}
-	set.mu.Unlock()
+	d.unlockSet(set)
 	ctx.Charge(d.cfg.L2Latency + d.cfg.WPQLatency)
 }
 
@@ -236,16 +247,21 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 	d.ctxShard(ctx).c[cSfences].Add(1)
 
 	sc := sfencePool.Get().(*sfenceScratch)
-	d.pendMu.Lock()
-	sc.sets = append(sc.sets[:0], d.pend...)
-	d.pend = d.pend[:0]
-	d.pendMu.Unlock()
+	if d.exclusive {
+		sc.sets = append(sc.sets[:0], d.pend...)
+		d.pend = d.pend[:0]
+	} else {
+		d.pendMu.Lock()
+		sc.sets = append(sc.sets[:0], d.pend...)
+		d.pend = d.pend[:0]
+		d.pendMu.Unlock()
+	}
 
 	drained := 0
 	reached := sc.reached[:0]
 	for _, si := range sc.sets {
 		set := &d.sets[si]
-		set.mu.Lock()
+		d.lockSet(set)
 		set.enqueued = false
 		for i := range set.inflight {
 			fl := &set.inflight[i]
@@ -256,7 +272,7 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 		}
 		drained += len(set.inflight)
 		set.inflight = set.inflight[:0]
-		set.mu.Unlock()
+		d.unlockSet(set)
 	}
 	if drained > 0 {
 		d.ctxShard(ctx).c[cMediaWrites].Add(uint64(drained))
@@ -284,7 +300,7 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 func (d *Device) FlushAll(ctx *sim.Ctx) {
 	for i := range d.sets {
 		set := &d.sets[i]
-		set.mu.Lock()
+		d.lockSet(set)
 		for w, t := range set.tags {
 			l := &set.ways[w]
 			if t != 0 && l.dirty {
@@ -293,7 +309,7 @@ func (d *Device) FlushAll(ctx *sim.Ctx) {
 				l.pending = false
 			}
 		}
-		set.mu.Unlock()
+		d.unlockSet(set)
 	}
 	d.Sfence(ctx)
 }

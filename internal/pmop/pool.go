@@ -119,6 +119,36 @@ func (p *Pool) initVolatile() {
 	}
 }
 
+// TxSlotOrder returns the free-transaction-slot queue order. The pool must
+// be quiescent (no transaction in flight) — the queue rotates as
+// transactions begin and retire, and the rotation decides which txlog lines
+// future transactions touch, so a forked pool must reproduce it exactly
+// (see the experiments fork driver).
+func (p *Pool) TxSlotOrder() []int {
+	order := make([]int, 0, txSlotCount)
+	for i := 0; i < txSlotCount; i++ {
+		order = append(order, <-p.txFree)
+	}
+	for _, s := range order {
+		p.txFree <- s
+	}
+	return order
+}
+
+// RestoreTxSlotOrder re-queues the free transaction slots in the given
+// order. The pool must be quiescent and order must hold every slot once.
+func (p *Pool) RestoreTxSlotOrder(order []int) {
+	if len(order) != txSlotCount {
+		panic("pmop: RestoreTxSlotOrder: wrong slot count")
+	}
+	for i := 0; i < txSlotCount; i++ {
+		<-p.txFree
+	}
+	for _, s := range order {
+		p.txFree <- s
+	}
+}
+
 // --- identity & geometry ----------------------------------------------------
 
 // ID returns the pool id.
@@ -391,6 +421,11 @@ func (p *Pool) writeHeader(ctx *sim.Ctx, headerOff uint64, t TypeID, payload uin
 
 // --- allocation ----------------------------------------------------------------
 
+// zeroPayload is a read-only source of zero bytes for Alloc. An object's
+// payload is bounded by the frame size, so one frame of zeros always covers
+// it.
+var zeroPayload [alloc.FrameSize]byte
+
 // Alloc allocates an object of the given registered type. For fixed-size
 // types payload may be 0 (the registered size is used); KindBytes and
 // KindPtrArray types take the payload size from the call.
@@ -411,9 +446,9 @@ func (p *Pool) Alloc(ctx *sim.Ctx, t TypeID, payload uint64) (Ptr, error) {
 	}
 	// Zero the payload (stale media contents must not leak into new
 	// objects), then persist the header so post-crash reachability can
-	// parse the heap.
-	zero := make([]byte, payload)
-	p.RawStore(ctx, headerOff+HeaderSize, zero)
+	// parse the heap. RawStore only reads its source, so a shared zero
+	// buffer serves every allocation (payloads never exceed one frame).
+	p.RawStore(ctx, headerOff+HeaderSize, zeroPayload[:payload])
 	p.writeHeader(ctx, headerOff, t, payload)
 	if h := p.allocHook.Load(); h != nil {
 		(*h)()

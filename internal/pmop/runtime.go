@@ -58,6 +58,29 @@ func Attach(cfg *sim.Config, dev *pmem.Device) (*Runtime, error) {
 	return rt, nil
 }
 
+// AttachAtEpoch builds a runtime over an existing device pinned to a specific
+// attach epoch. This is the fork path of the checkpoint/fork driver
+// (DESIGN.md §7): a forked pool must reproduce the parent's VA bases exactly
+// (epoch is a vaBase input), and unlike Attach the call performs no media
+// writes, so restored device counters stay bit-identical. Pools are reopened
+// via Open; their volatile allocator state is then restored from a
+// HeapCheckpoint rather than rebuilt.
+func AttachAtEpoch(cfg *sim.Config, dev *pmem.Device, epoch uint64) (*Runtime, error) {
+	var b [8]byte
+	dev.MediaRead(sbMagicOff, b[:])
+	if binary.LittleEndian.Uint64(b[:]) != sbMagic {
+		return nil, fmt.Errorf("pmop: no superblock on device")
+	}
+	rt := attach(cfg, dev)
+	rt.epoch = epoch
+	rt.scanSuperblock()
+	return rt, nil
+}
+
+// Epoch returns the runtime's attach epoch (fresh runtimes are epoch 0;
+// each Attach bumps it so reopened pools get shifted VA bases).
+func (rt *Runtime) Epoch() uint64 { return rt.epoch }
+
 func attach(cfg *sim.Config, dev *pmem.Device) *Runtime {
 	return &Runtime{
 		cfg:     cfg,

@@ -27,6 +27,9 @@ type Tx struct {
 	count  uint64
 	ranges []txRange
 	active bool
+	// scratch is the reusable undo-entry staging buffer; its contents are
+	// fully rewritten (padding included) before every RawStore.
+	scratch []byte
 }
 
 type txRange struct{ off, n uint64 }
@@ -69,10 +72,16 @@ func (t *Tx) Add(ctx *sim.Ctx, off, n uint64) {
 	if t.cursor+entryLen > txSlotBytes {
 		panic(fmt.Sprintf("pmop: transaction log overflow (%d bytes)", t.cursor+entryLen))
 	}
-	entry := make([]byte, entryLen)
+	if uint64(cap(t.scratch)) < entryLen {
+		t.scratch = make([]byte, entryLen)
+	}
+	entry := t.scratch[:entryLen]
 	binary.LittleEndian.PutUint64(entry[0:8], off)
 	binary.LittleEndian.PutUint64(entry[8:16], n)
 	p.RawLoad(ctx, off, entry[16:16+n])
+	for i := 16 + n; i < entryLen; i++ {
+		entry[i] = 0 // alignment padding: keep logged bytes deterministic
+	}
 	entryOff := t.base() + t.cursor
 	p.RawStore(ctx, entryOff, entry)
 	p.PersistRange(ctx, entryOff, entryLen)

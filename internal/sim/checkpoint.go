@@ -1,0 +1,112 @@
+package sim
+
+// Checkpoint/restore for the per-thread simulation state (clock, TLB,
+// pending-flush count). Checkpoints are deep value copies: restoring one into
+// a fresh Ctx reproduces the simulated-visible state bit-identically, which
+// the fork-based experiment driver relies on (DESIGN.md §7). The *Into
+// variants reuse a previously allocated checkpoint's buffers so a driver that
+// re-checkpoints at every candidate fork point pays no steady-state
+// allocation.
+
+// setAssocState is a deep copy of one set-associative array's contents.
+type setAssocState struct {
+	Tags []uint64
+	Age  []uint32
+	Tick uint32
+}
+
+func (s *setAssoc) checkpointInto(c *setAssocState) {
+	if cap(c.Tags) < len(s.tags) {
+		c.Tags = make([]uint64, len(s.tags))
+		c.Age = make([]uint32, len(s.age))
+	}
+	c.Tags = c.Tags[:len(s.tags)]
+	c.Age = c.Age[:len(s.age)]
+	copy(c.Tags, s.tags)
+	copy(c.Age, s.age)
+	c.Tick = s.tick
+}
+
+func (s *setAssoc) restore(c *setAssocState) {
+	copy(s.tags, c.Tags)
+	copy(s.age, c.Age)
+	s.tick = c.Tick
+}
+
+// TLBCheckpoint captures the full translation hierarchy: resident tags, LRU
+// ages and ticks for both L1 structures and the unified L2, plus the miss
+// counters.
+type TLBCheckpoint struct {
+	L14K, L12M, L2               setAssocState
+	Accesses, L1Misses, L2Misses uint64
+}
+
+// Checkpoint returns a deep copy of the TLB state.
+func (t *TLB) Checkpoint() *TLBCheckpoint {
+	c := &TLBCheckpoint{}
+	t.CheckpointInto(c)
+	return c
+}
+
+// CheckpointInto captures the TLB state into c, reusing c's buffers.
+func (t *TLB) CheckpointInto(c *TLBCheckpoint) {
+	t.l14k.checkpointInto(&c.L14K)
+	t.l12m.checkpointInto(&c.L12M)
+	t.l2.checkpointInto(&c.L2)
+	c.Accesses, c.L1Misses, c.L2Misses = t.Accesses, t.L1Misses, t.L2Misses
+}
+
+// Restore overwrites the TLB state from c. The TLB must have the same
+// geometry (entry/way configuration) as the one the checkpoint was taken
+// from.
+func (t *TLB) Restore(c *TLBCheckpoint) {
+	t.l14k.restore(&c.L14K)
+	t.l12m.restore(&c.L12M)
+	t.l2.restore(&c.L2)
+	t.Accesses, t.L1Misses, t.L2Misses = c.Accesses, c.L1Misses, c.L2Misses
+}
+
+// Restore overwrites the per-category counters from a Snapshot.
+func (c *Clock) Restore(snap [NumCategories]uint64) {
+	copy(c.cycles[:], snap[:])
+}
+
+// CtxCheckpoint captures one simulation context: its clock's per-category
+// cycle counters, attribution category, pending-flush count, and TLB. HW is
+// deliberately absent — every fork point in the experiment driver sits
+// outside any defragmentation epoch, where parent contexts carry no
+// per-core hardware state (the checklookup unit lives only on transient
+// derived contexts).
+type CtxCheckpoint struct {
+	Cycles         [NumCategories]uint64
+	Cat            Category
+	PendingFlushes int
+	TLB            TLBCheckpoint
+}
+
+// Checkpoint returns a deep copy of the context's simulated state.
+func (x *Ctx) Checkpoint() *CtxCheckpoint {
+	c := &CtxCheckpoint{}
+	x.CheckpointInto(c)
+	return c
+}
+
+// CheckpointInto captures the context's simulated state into c, reusing c's
+// buffers.
+func (x *Ctx) CheckpointInto(c *CtxCheckpoint) {
+	c.Cycles = x.Clock.Snapshot()
+	c.Cat = x.Cat
+	c.PendingFlushes = x.PendingFlushes
+	x.TLB.CheckpointInto(&c.TLB)
+}
+
+// Restore overwrites the context's simulated state from c. The context keeps
+// its own Clock/TLB instances (their contents are overwritten) and its host
+// Shard; HW is cleared.
+func (x *Ctx) Restore(c *CtxCheckpoint) {
+	x.Clock.Restore(c.Cycles)
+	x.Cat = c.Cat
+	x.PendingFlushes = c.PendingFlushes
+	x.TLB.Restore(&c.TLB)
+	x.HW = nil
+}

@@ -114,6 +114,11 @@ type Ctx struct {
 	// to spread contexts across shards without touching the simulated state.
 	// It never influences simulated cycles.
 	Shard uint32
+
+	// derived holds one reusable child context per category for Derived.
+	// Host-only: it spares the per-operation heap allocation WithCat pays
+	// when the derived context escapes into an interface call.
+	derived [numCategories]*Ctx
 }
 
 var ctxSeq atomic.Uint32
@@ -142,5 +147,30 @@ func (x *Ctx) ChargeCat(cat Category, n uint64) {
 func (x *Ctx) WithCat(cat Category) *Ctx {
 	c := *x
 	c.Cat = cat
+	c.derived = [numCategories]*Ctx{}
 	return &c
+}
+
+// Derived returns a context equivalent to WithCat(cat) but backed by a
+// per-category scratch slot on the receiver, so repeated calls on a hot path
+// do not allocate. The returned context has exactly WithCat's semantics: it
+// shares the clock and TLB, and receives a *copy* of PendingFlushes and HW —
+// mutations of either on the child never propagate back to the parent (the
+// fence-stall accounting in Device.Sfence depends on that isolation).
+//
+// The scratch slot is reused by the next Derived(cat) call on the same
+// receiver, so callers must not retain the result across a subsequent call
+// with the same category. All uses in this codebase are sequential
+// call-then-drop sites.
+func (x *Ctx) Derived(cat Category) *Ctx {
+	d := x.derived[cat]
+	if d == nil {
+		d = &Ctx{}
+		x.derived[cat] = d
+	}
+	// Reinitialize field-by-field rather than assigning a whole Ctx value:
+	// a struct assignment would wipe the child's own scratch slots.
+	d.Clock, d.TLB, d.Cat, d.PendingFlushes, d.HW, d.Shard =
+		x.Clock, x.TLB, cat, x.PendingFlushes, x.HW, x.Shard
+	return d
 }

@@ -30,6 +30,12 @@ type setAssoc struct {
 	tags []uint64 // sets*ways entries; 0 means invalid (VPN 0 is never used)
 	age  []uint32
 	tick uint32
+	// mruIdx/mruTag are a host-side hint for consecutive translations of the
+	// same page — always validated against tags, so stale values (including
+	// across a checkpoint restore) only cost the scan they avoid. mruTag 0
+	// never matches (VPN tags are biased nonzero).
+	mruIdx int
+	mruTag uint64
 }
 
 func newSetAssoc(entries, ways int) setAssoc {
@@ -62,6 +68,11 @@ func (s *setAssoc) setBase(tag uint64) int {
 // lookup probes for tag; on miss it inserts tag, evicting the LRU way.
 // Returns true on hit.
 func (s *setAssoc) lookup(tag uint64) bool {
+	if tag == s.mruTag && s.tags[s.mruIdx] == tag {
+		s.tick++
+		s.age[s.mruIdx] = s.tick
+		return true
+	}
 	s.tick++
 	base := s.setBase(tag)
 	victim := base
@@ -70,6 +81,7 @@ func (s *setAssoc) lookup(tag uint64) bool {
 		idx := base + i
 		if s.tags[idx] == tag {
 			s.age[idx] = s.tick
+			s.mruIdx, s.mruTag = idx, tag
 			return true
 		}
 		if s.age[idx] < oldest {
@@ -79,6 +91,7 @@ func (s *setAssoc) lookup(tag uint64) bool {
 	}
 	s.tags[victim] = tag
 	s.age[victim] = s.tick
+	s.mruIdx, s.mruTag = victim, tag
 	return false
 }
 

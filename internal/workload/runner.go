@@ -1,0 +1,375 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ffccd/internal/ds"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// countingSource wraps math/rand's default source and counts state
+// advances. Every Int63/Uint64 call steps the underlying generator exactly
+// once, so a checkpointed draw count can be replayed onto a fresh source of
+// the same seed to reproduce the stream position bit-identically — without
+// serializing the generator's internal state (which math/rand does not
+// expose). The workload's randomness is golden-pinned, so the generator
+// algorithm itself must not change.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// skip advances the source by n draws (Int63 and Uint64 step the generator
+// identically).
+func (s *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws = n
+}
+
+// runnerStage is the Runner's position within one loop iteration.
+type runnerStage int
+
+const (
+	// stageBody: about to execute op i (or finish the phase if i == ops).
+	stageBody runnerStage = iota
+	// stagePre: op i was a sample point; run PreSample and the sample.
+	stagePre
+	// stageMaint: run the Maintenance hook for op i. This is the suspension
+	// point: a checkpoint taken inside Maintenance resumes by re-invoking
+	// the (new) Maintenance hook with identical machine state.
+	stageMaint
+)
+
+// phaseDef is one workload phase: a name, an op count and which operation
+// body drives it.
+type phaseDef struct {
+	name   string
+	ops    int
+	insert bool
+}
+
+// Runner executes the §6 workload as an explicit state machine, equivalent
+// op-for-op to the closed-loop Run but suspendable at any Maintenance point
+// and checkpointable there. The fork-based experiment driver builds one
+// runner per breakdown cell, suspends it where the schemes diverge, and
+// resumes a clone per scheme (DESIGN.md §7).
+type Runner struct {
+	ctx *sim.Ctx
+	p   *pmop.Pool
+	s   ds.Store
+	cfg Config
+
+	src *countingSource
+	rng *rand.Rand
+
+	live     []uint64
+	nextKey  uint64
+	freeKeys []uint64
+	valBuf   []byte
+
+	samples          int
+	sumFoot, sumLive float64
+	res              Result
+
+	phases []phaseDef
+	ph     int
+	i      int
+	stage  runnerStage
+
+	// Per-phase start markers (captured at phase entry).
+	startCycles    uint64
+	phSamples      int
+	phFoot, phLive float64
+
+	stopReq  bool
+	finished bool
+}
+
+func (r *Runner) phaseDefs() []phaseDef {
+	return []phaseDef{
+		{"init", r.cfg.InitInserts, true},
+		{"delete1", r.cfg.PhaseOps, false},
+		{"insert", r.cfg.PhaseOps, true},
+		{"delete2", r.cfg.PhaseOps, false},
+	}
+}
+
+// NewRunner prepares a run positioned at the first op of the init phase.
+func NewRunner(ctx *sim.Ctx, p *pmop.Pool, s ds.Store, cfg Config) *Runner {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 500
+	}
+	r := &Runner{
+		ctx: ctx, p: p, s: s, cfg: cfg,
+		src:      newCountingSource(cfg.Seed),
+		freeKeys: []uint64{},
+	}
+	r.rng = rand.New(r.src)
+	r.phases = r.phaseDefs()
+	r.startPhase()
+	return r
+}
+
+func (r *Runner) startPhase() {
+	r.startCycles = r.ctx.Clock.Total()
+	r.phSamples = r.samples
+	r.phFoot, r.phLive = r.sumFoot, r.sumLive
+}
+
+func (r *Runner) takeKey() uint64 {
+	if r.cfg.KeyCap > 0 {
+		if n := len(r.freeKeys); n > 0 {
+			k := r.freeKeys[n-1]
+			r.freeKeys = r.freeKeys[:n-1]
+			return k
+		}
+		k := r.nextKey % r.cfg.KeyCap
+		r.nextKey++
+		return r.cfg.KeyBase + k
+	}
+	k := r.nextKey
+	r.nextKey++
+	return r.cfg.KeyBase + k
+}
+
+func (r *Runner) val(k uint64) []byte {
+	n := r.cfg.ValueSize
+	if r.cfg.ValueJitter > 0 {
+		n += r.rng.Intn(2*r.cfg.ValueJitter) - r.cfg.ValueJitter
+		if n < 8 {
+			n = 8
+		}
+	}
+	// Stores copy the value into simulated memory, so one reusable buffer
+	// (fully overwritten each call) serves every op.
+	if cap(r.valBuf) < n {
+		r.valBuf = make([]byte, n)
+	}
+	b := r.valBuf[:n]
+	for i := range b {
+		b[i] = byte(k>>uint(8*(i%8))) ^ byte(i)
+	}
+	return b
+}
+
+func (r *Runner) sample() {
+	st := r.p.Heap().Frag(r.p.PageShift())
+	r.sumFoot += float64(st.FootprintBytes)
+	r.sumLive += float64(st.LiveBytes)
+	r.samples++
+}
+
+func (r *Runner) insertOne() error {
+	k := r.takeKey()
+	if err := r.s.Insert(r.ctx, k, r.val(k)); err != nil {
+		return err
+	}
+	r.live = append(r.live, k)
+	return nil
+}
+
+func (r *Runner) deleteOne() error {
+	if len(r.live) == 0 {
+		return nil
+	}
+	i := r.rng.Intn(len(r.live))
+	k := r.live[i]
+	r.live[i] = r.live[len(r.live)-1]
+	r.live = r.live[:len(r.live)-1]
+	if _, err := r.s.Delete(r.ctx, k); err != nil {
+		return err
+	}
+	if r.cfg.KeyCap > 0 {
+		r.freeKeys = append(r.freeKeys, k)
+	}
+	return nil
+}
+
+func (r *Runner) endPhase() {
+	r.sample()
+	def := r.phases[r.ph]
+	n := float64(r.samples - r.phSamples)
+	r.res.Phases = append(r.res.Phases, PhaseResult{
+		Name:         def.name,
+		Ops:          def.ops,
+		Cycles:       r.ctx.Clock.Total() - r.startCycles,
+		AvgFootprint: (r.sumFoot - r.phFoot) / n,
+		AvgLive:      (r.sumLive - r.phLive) / n,
+		End:          r.p.Heap().Frag(r.p.PageShift()),
+	})
+	r.ph++
+	r.i = 0
+	if r.ph < len(r.phases) {
+		r.startPhase()
+		return
+	}
+	// Aggregate the measured (post-init) phases.
+	var foot, liveB float64
+	for _, ph := range r.res.Phases[1:] {
+		foot += ph.AvgFootprint
+		liveB += ph.AvgLive
+		r.res.TotalOps += ph.Ops
+		r.res.TotalCycles += ph.Cycles
+	}
+	r.res.AvgFootprint = foot / float64(len(r.res.Phases)-1)
+	r.res.AvgLive = liveB / float64(len(r.res.Phases)-1)
+	r.finished = true
+}
+
+// RequestStop asks the runner to suspend. It is meant to be called from
+// inside the Maintenance hook; the runner returns from Run before advancing
+// past the current op, leaving its state checkpointable at exactly the
+// pre-Maintenance point.
+func (r *Runner) RequestStop() { r.stopReq = true }
+
+// Run advances the state machine until the workload completes or a
+// Maintenance hook requests a stop. It returns (result, true, nil) on
+// completion; (zero, false, nil) when suspended.
+func (r *Runner) Run() (Result, bool, error) {
+	if r.finished {
+		return r.res, true, nil
+	}
+	for {
+		switch r.stage {
+		case stageBody:
+			if r.i >= r.phases[r.ph].ops {
+				r.endPhase()
+				if r.finished {
+					return r.res, true, nil
+				}
+				continue
+			}
+			var err error
+			if r.phases[r.ph].insert {
+				err = r.insertOne()
+			} else {
+				err = r.deleteOne()
+			}
+			if err != nil {
+				return Result{}, false, err
+			}
+			if r.i%r.cfg.SampleEvery == 0 {
+				r.stage = stagePre
+			} else {
+				r.i++
+			}
+		case stagePre:
+			if r.cfg.PreSample != nil {
+				r.cfg.PreSample()
+			}
+			r.sample()
+			r.stage = stageMaint
+		case stageMaint:
+			if r.cfg.Maintenance != nil {
+				r.cfg.Maintenance()
+				if r.stopReq {
+					r.stopReq = false
+					return Result{}, false, nil
+				}
+			}
+			r.i++
+			r.stage = stageBody
+		}
+	}
+}
+
+// RunnerCheckpoint is a deep copy of a runner's position and accumulators.
+// The RNG is captured as its draw count (see countingSource).
+type RunnerCheckpoint struct {
+	Live     []uint64
+	NextKey  uint64
+	FreeKeys []uint64
+	Draws    uint64
+
+	Samples          int
+	SumFoot, SumLive float64
+	Phases           []PhaseResult
+
+	Phase int
+	Index int
+	Stage int
+
+	StartCycles    uint64
+	PhSamples      int
+	PhFoot, PhLive float64
+}
+
+// Checkpoint captures the runner's state. Valid at any point the runner is
+// not executing — including from inside a Maintenance hook, where the
+// captured stage makes a resumed clone re-invoke its own Maintenance hook
+// first.
+func (r *Runner) Checkpoint() *RunnerCheckpoint {
+	return &RunnerCheckpoint{
+		Live:        append([]uint64(nil), r.live...),
+		NextKey:     r.nextKey,
+		FreeKeys:    append([]uint64{}, r.freeKeys...),
+		Draws:       r.src.draws,
+		Samples:     r.samples,
+		SumFoot:     r.sumFoot,
+		SumLive:     r.sumLive,
+		Phases:      append([]PhaseResult(nil), r.res.Phases...),
+		Phase:       r.ph,
+		Index:       r.i,
+		Stage:       int(r.stage),
+		StartCycles: r.startCycles,
+		PhSamples:   r.phSamples,
+		PhFoot:      r.phFoot,
+		PhLive:      r.phLive,
+	}
+}
+
+// ResumeRunner reconstructs a runner from a checkpoint against a (forked)
+// context, pool and store. The checkpoint is only read; several forks may
+// resume from the same checkpoint concurrently.
+func ResumeRunner(ctx *sim.Ctx, p *pmop.Pool, s ds.Store, cfg Config, c *RunnerCheckpoint) (*Runner, error) {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 500
+	}
+	r := &Runner{
+		ctx: ctx, p: p, s: s, cfg: cfg,
+		src:      newCountingSource(cfg.Seed),
+		live:     append([]uint64(nil), c.Live...),
+		nextKey:  c.NextKey,
+		freeKeys: append([]uint64{}, c.FreeKeys...),
+		samples:  c.Samples,
+		sumFoot:  c.SumFoot,
+		sumLive:  c.SumLive,
+	}
+	r.rng = rand.New(r.src)
+	r.src.skip(c.Draws)
+	r.res.Phases = append(r.res.Phases, c.Phases...)
+	r.phases = r.phaseDefs()
+	if c.Phase < 0 || c.Phase >= len(r.phases) {
+		return nil, fmt.Errorf("workload: checkpoint phase %d out of range", c.Phase)
+	}
+	r.ph = c.Phase
+	r.i = c.Index
+	r.stage = runnerStage(c.Stage)
+	r.startCycles = c.StartCycles
+	r.phSamples = c.PhSamples
+	r.phFoot, r.phLive = c.PhFoot, c.PhLive
+	return r, nil
+}

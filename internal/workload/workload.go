@@ -7,7 +7,7 @@
 package workload
 
 import (
-	"math/rand"
+	"fmt"
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/ds"
@@ -93,145 +93,16 @@ func (r Result) AvgFragRatio() float64 {
 }
 
 // Run drives the §6 workload against a store. The engine (if any) runs via
-// its own triggers; Run only measures.
+// its own triggers; Run only measures. It is a closed-loop convenience over
+// Runner, which exposes the same execution as a suspendable state machine.
 func Run(ctx *sim.Ctx, p *pmop.Pool, s ds.Store, cfg Config) (Result, error) {
-	if cfg.SampleEvery <= 0 {
-		cfg.SampleEvery = 500
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var live []uint64
-	nextKey := uint64(0)
-	freeKeys := []uint64{}
-
-	takeKey := func() uint64 {
-		if cfg.KeyCap > 0 {
-			if len(freeKeys) > 0 {
-				k := freeKeys[len(freeKeys)-1]
-				freeKeys = freeKeys[:len(freeKeys)-1]
-				return k
-			}
-			k := nextKey % cfg.KeyCap
-			nextKey++
-			return cfg.KeyBase + k
-		}
-		k := nextKey
-		nextKey++
-		return cfg.KeyBase + k
-	}
-	val := func(k uint64) []byte {
-		n := cfg.ValueSize
-		if cfg.ValueJitter > 0 {
-			n += rng.Intn(2*cfg.ValueJitter) - cfg.ValueJitter
-			if n < 8 {
-				n = 8
-			}
-		}
-		b := make([]byte, n)
-		for i := range b {
-			b[i] = byte(k>>uint(8*(i%8))) ^ byte(i)
-		}
-		return b
-	}
-
-	var res Result
-	samples := 0
-	var sumFoot, sumLive float64
-	sample := func() {
-		st := p.Heap().Frag(p.PageShift())
-		sumFoot += float64(st.FootprintBytes)
-		sumLive += float64(st.LiveBytes)
-		samples++
-	}
-
-	phase := func(name string, ops int, body func(i int) error) (PhaseResult, error) {
-		startCycles := ctx.Clock.Total()
-		phSamples := samples
-		phFoot, phLive := sumFoot, sumLive
-		for i := 0; i < ops; i++ {
-			if err := body(i); err != nil {
-				return PhaseResult{}, err
-			}
-			if i%cfg.SampleEvery == 0 {
-				if cfg.PreSample != nil {
-					cfg.PreSample()
-				}
-				sample()
-				if cfg.Maintenance != nil {
-					cfg.Maintenance()
-				}
-			}
-		}
-		sample()
-		n := float64(samples - phSamples)
-		pr := PhaseResult{
-			Name:         name,
-			Ops:          ops,
-			Cycles:       ctx.Clock.Total() - startCycles,
-			AvgFootprint: (sumFoot - phFoot) / n,
-			AvgLive:      (sumLive - phLive) / n,
-			End:          p.Heap().Frag(p.PageShift()),
-		}
-		return pr, nil
-	}
-
-	insertOne := func(int) error {
-		k := takeKey()
-		if err := s.Insert(ctx, k, val(k)); err != nil {
-			return err
-		}
-		live = append(live, k)
-		return nil
-	}
-	deleteOne := func(int) error {
-		if len(live) == 0 {
-			return nil
-		}
-		i := rng.Intn(len(live))
-		k := live[i]
-		live[i] = live[len(live)-1]
-		live = live[:len(live)-1]
-		if _, err := s.Delete(ctx, k); err != nil {
-			return err
-		}
-		if cfg.KeyCap > 0 {
-			freeKeys = append(freeKeys, k)
-		}
-		return nil
-	}
-
-	init, err := phase("init", cfg.InitInserts, insertOne)
+	r := NewRunner(ctx, p, s, cfg)
+	res, finished, err := r.Run()
 	if err != nil {
-		return res, err
+		return Result{}, err
 	}
-	res.Phases = append(res.Phases, init)
-
-	del1, err := phase("delete1", cfg.PhaseOps, deleteOne)
-	if err != nil {
-		return res, err
+	if !finished {
+		return Result{}, fmt.Errorf("workload: run suspended without completing")
 	}
-	res.Phases = append(res.Phases, del1)
-
-	ins, err := phase("insert", cfg.PhaseOps, insertOne)
-	if err != nil {
-		return res, err
-	}
-	res.Phases = append(res.Phases, ins)
-
-	del2, err := phase("delete2", cfg.PhaseOps, deleteOne)
-	if err != nil {
-		return res, err
-	}
-	res.Phases = append(res.Phases, del2)
-
-	// Aggregate the measured (post-init) phases.
-	var foot, liveB float64
-	for _, ph := range res.Phases[1:] {
-		foot += ph.AvgFootprint
-		liveB += ph.AvgLive
-		res.TotalOps += ph.Ops
-		res.TotalCycles += ph.Cycles
-	}
-	res.AvgFootprint = foot / float64(len(res.Phases)-1)
-	res.AvgLive = liveB / float64(len(res.Phases)-1)
 	return res, nil
 }

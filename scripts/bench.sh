@@ -1,30 +1,38 @@
 #!/bin/sh
-# bench.sh — produce the machine-readable host-performance record BENCH_1.json.
+# bench.sh — produce the machine-readable host-performance record BENCH_2.json.
 #
-# Runs the Figure 5/14 drivers (the heaviest experiment fan-outs) serially and
-# at full parallelism, recording host seconds and total simulated cycles for
-# each. The simulated numbers must be identical between the two runs — the
-# parallel driver changes wall-clock only; the golden test pins this.
+# Runs the Figure 5/14 drivers (the heaviest experiment fan-outs) with the
+# checkpoint/fork driver on and off, recording host seconds, the fork
+# counters (prefixes built, checkpoints taken, runs forked from them), and
+# total simulated cycles for each. The simulated numbers must be identical
+# across every row — fork and parallelism change wall-clock only; the golden
+# test pins this. Each configuration repeats (-repeat) so the file carries
+# host-time variance instead of duplicating near-identical experiment lines.
 #
-# Usage: scripts/bench.sh [scale]   (default 0.002, the bench_test.go default)
+# Usage: scripts/bench.sh [scale] [repeat]   (defaults 0.002 and 2)
 set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-0.002}"
-OUT="BENCH_1.json"
+REPEAT="${2:-2}"
+OUT="BENCH_2.json"
 
 go build -o /tmp/ffccd-bench ./cmd/ffccd-bench
 
-/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -parallel 1 -json /tmp/bench_serial.json >/dev/null
-/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -json /tmp/bench_par_fig5.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -json /tmp/bench_par_fig14.json >/dev/null
+/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -fork=false -repeat "$REPEAT" -json /tmp/bench_fig5_nofork.json >/dev/null
+/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -fork=true -repeat "$REPEAT" -json /tmp/bench_fig5_fork.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT" -json /tmp/bench_fig14_nofork.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=true -repeat "$REPEAT" -json /tmp/bench_fig14_fork.json >/dev/null
 
-# Merge the three single-record arrays into one file.
+# Merge the per-configuration record arrays into one file.
 {
   printf '[\n'
-  for f in /tmp/bench_serial.json /tmp/bench_par_fig5.json /tmp/bench_par_fig14.json; do
+  first=1
+  for f in /tmp/bench_fig5_nofork.json /tmp/bench_fig5_fork.json \
+           /tmp/bench_fig14_nofork.json /tmp/bench_fig14_fork.json; do
+    [ "$first" = 1 ] || printf ',\n'
+    first=0
     sed '1d;$d' "$f"
-    [ "$f" != /tmp/bench_par_fig14.json ] && printf ',\n'
   done
   printf '\n]\n'
 } >"$OUT"
