@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-host benchdiff golden clean
+.PHONY: all build test race vet fmt check bench bench-host benchdiff golden clean
 
 all: check
 
@@ -13,20 +13,26 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# fmt fails if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # race runs the short test suite under the race detector — the CI gate for
 # the concurrent simulated-machine hot path.
 race:
 	$(GO) test -race -short ./...
 
-# check is the full CI target: vet + race-detector short tests + full tests.
-check: vet race test
+# check is the full CI target: gofmt + vet + race-detector short tests +
+# full tests.
+check: fmt vet race test
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
 # bench-host produces the machine-readable host-performance record
-# BENCH_2.json (see scripts/bench.sh and README.md).
+# BENCH_3.json (see scripts/bench.sh and README.md).
 bench-host:
 	scripts/bench.sh
 
@@ -48,9 +54,10 @@ benchdiff:
 
 # golden re-checks that simulated cycle totals match the committed golden —
 # each golden spec is replayed through BOTH the from-scratch path and the
-# checkpoint/fork path (the /scratch and /fork subtests).
+# checkpoint/fork path (the /scratch and /fork subtests), with observability
+# ENABLED (tracing must never perturb simulated results).
 golden:
-	$(GO) test ./internal/experiments/ -run 'TestGoldenCycles|TestCycleDeterminism' -v
+	$(GO) test ./internal/experiments/ -run 'TestGoldenCycles|TestCycleDeterminism|TestTracingDoesNotPerturb' -v
 
 clean:
 	rm -f ffccd.test

@@ -16,18 +16,29 @@
 // worker count. -json appends one machine-readable record per experiment
 // (host seconds plus the experiment's simulated-cycle metrics) to a file,
 // for tracking host performance across revisions.
+//
+// Observability (simulated cycle totals stay bit-identical either way):
+//
+//	ffccd-bench -experiment fig14 -trace out.json   # Perfetto-loadable trace
+//	ffccd-bench -experiment fig5 -trace-ring 256 -trace ring.json
+//	ffccd-bench -experiment all -httpobs localhost:6060  # expvar + pprof
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"ffccd/internal/experiments"
+	"ffccd/internal/obsv"
 )
 
 // benchRecord is one -json entry: host-side timing plus whatever simulated
@@ -46,6 +57,14 @@ type benchRecord struct {
 	ForkCheckpoints uint64             `json:"fork_checkpoints,omitempty"`
 	ForkRuns        uint64             `json:"fork_runs,omitempty"`
 	Metrics         map[string]float64 `json:"metrics,omitempty"`
+	// TraceMode records whether observability collection was on for this
+	// repetition ("full" or "ring"); absent means tracing disabled, i.e.
+	// the row measures the zero-overhead-when-disabled configuration.
+	TraceMode string `json:"trace_mode,omitempty"`
+	// Obs carries the flattened observability summary (histogram
+	// percentiles, counter groups, trace event counts) when -trace or
+	// -httpobs enabled per-run collection for this repetition.
+	Obs map[string]float64 `json:"obs,omitempty"`
 }
 
 func main() {
@@ -59,6 +78,9 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run each experiment N times, recording every repetition (host-time variance)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (open in ui.perfetto.dev) of every run's defrag phases to this file")
+	traceRing := flag.Int("trace-ring", 0, "flight-recorder mode: keep only the newest N events per simulated thread (0 = full trace)")
+	httpObs := flag.String("httpobs", "", "serve expvar metrics (/debug/vars) and pprof (/debug/pprof) on this address while experiments run")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -82,6 +104,26 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+
+	obsEnabled := *tracePath != "" || *httpObs != ""
+	var latestCol atomic.Pointer[obsv.Collector]
+	if *httpObs != "" {
+		// expvar and net/http/pprof register themselves on DefaultServeMux;
+		// ffccd_obs exposes the most recent repetition's merged summary.
+		expvar.Publish("ffccd_obs", expvar.Func(func() any {
+			if c := latestCol.Load(); c != nil {
+				return c.MetricsSummary()
+			}
+			return map[string]float64{}
+		}))
+		go func() {
+			if err := http.ListenAndServe(*httpObs, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "httpobs: %v\n", err)
+			}
+		}()
+		fmt.Printf("(observability server on http://%s/debug/vars and /debug/pprof)\n", *httpObs)
+	}
+	var traceCols []*obsv.Collector
 
 	type exp struct {
 		id  string
@@ -121,6 +163,12 @@ func main() {
 		ran++
 		for rep := 1; rep <= *repeat; rep++ {
 			experiments.ResetForkCounters()
+			var col *obsv.Collector
+			if obsEnabled {
+				col = obsv.NewCollector(*traceRing)
+				experiments.SetObsCollector(col)
+				latestCol.Store(col)
+			}
 			start := time.Now()
 			out, err := e.run()
 			if err != nil {
@@ -143,6 +191,17 @@ func main() {
 			if m, ok := out.(interface{ Metrics() map[string]float64 }); ok {
 				rec.Metrics = m.Metrics()
 			}
+			if col != nil {
+				experiments.SetObsCollector(nil)
+				rec.Obs = col.MetricsSummary()
+				rec.TraceMode = "full"
+				if *traceRing > 0 {
+					rec.TraceMode = "ring"
+				}
+				if *tracePath != "" {
+					traceCols = append(traceCols, col)
+				}
+			}
 			records = append(records, rec)
 			if *csvDir != "" && rep == 1 {
 				if c, ok := out.(interface{ CSV() string }); ok {
@@ -159,6 +218,22 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *experiment)
 		os.Exit(2)
+	}
+	if *tracePath != "" && len(traceCols) > 0 {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		werr := obsv.WriteChromeTraceAll(f, traceCols...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "trace %s: %v\n", *tracePath, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("(chrome trace written to %s — open in https://ui.perfetto.dev)\n", *tracePath)
 	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(records, "", "  ")

@@ -4,6 +4,12 @@
 //
 //	ffccd-crashtest -trials 1000            # the paper's full campaign
 //	ffccd-crashtest -trials 20 -setting LL/1T/ffccd
+//	ffccd-crashtest -trials 1 -setting LL/1T/ffccd -flightrec 32
+//
+// -flightrec N arms a per-trial flight recorder: the newest N trace events
+// per simulated thread are kept in a ring and dumped at the injected crash,
+// showing what the machine was doing right before the fault. Intended for
+// replaying a single failing trial, not full campaigns (it dumps per trial).
 package main
 
 import (
@@ -13,13 +19,26 @@ import (
 	"time"
 
 	"ffccd/internal/faultinject"
+	"ffccd/internal/obsv"
 )
 
 func main() {
 	trials := flag.Int("trials", 100, "fault-injection trials per setting (paper: 1000)")
 	setting := flag.String("setting", "", "run only this setting (e.g. LL/1T/ffccd)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	flightrec := flag.Int("flightrec", 0, "dump a flight-recorder ring of the newest N events per simulated thread at each injected crash (0 = off)")
 	flag.Parse()
+
+	if *flightrec > 0 {
+		faultinject.SetObsFactory(func(s faultinject.Setting, trialSeed int64) *obsv.Obs {
+			o := obsv.New(*flightrec)
+			o.OnCrash = func(o *obsv.Obs) {
+				fmt.Printf("-- flight recorder at injected crash: %s seed %d --\n", s, trialSeed)
+				obsv.WriteFlightRecorder(os.Stdout, o)
+			}
+			return o
+		})
+	}
 
 	settings := faultinject.AllSettings()
 	failures := 0

@@ -7,22 +7,30 @@
 //
 //	ffccd-inspect             # clean pool
 //	ffccd-inspect -crash      # crash mid-epoch first, inspect the wreckage
+//
+// Every run records a cycle-domain phase timeline (printed at the end). With
+// -crash the tracer runs in flight-recorder mode: a bounded ring of the
+// newest events per simulated thread, dumped at the instant of the fault —
+// the pre-crash forensics a real PM module's debug port would give you.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ffccd"
 	"ffccd/internal/alloc"
 	"ffccd/internal/checker"
+	"ffccd/internal/obsv"
 	"ffccd/internal/stats"
 )
 
 func main() {
 	crash := flag.Bool("crash", false, "crash mid-defragmentation before inspecting")
 	keys := flag.Int("keys", 8000, "list entries to populate")
+	flightrec := flag.Int("flightrec", 64, "flight-recorder ring capacity per simulated thread for -crash runs")
 	flag.Parse()
 
 	cfg := ffccd.DefaultConfig()
@@ -43,9 +51,27 @@ func main() {
 	}
 	pool.Device().FlushAll(ctx)
 
+	// Observability: full trace for clean runs, flight-recorder ring for
+	// crash runs (dumped by OnCrash at the fault, before recovery touches
+	// anything). Reads simulated clocks, never charges them.
+	ring := 0
+	if *crash {
+		ring = *flightrec
+	}
+	obs := obsv.New(ring)
+	obs.OnCrash = func(o *obsv.Obs) {
+		fmt.Println("== power loss: flight-recorder ring at the fault ==")
+		if err := obsv.WriteFlightRecorder(os.Stdout, o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	obs.Tracer.Name(ctx, "main")
+	pool.Device().SetObs(obs)
+
 	opt := ffccd.DefaultEngineOptions()
 	opt.Scheme = ffccd.SchemeFFCCD
 	opt.TriggerRatio, opt.TargetRatio = 1.05, 1.02
+	opt.Obs = obs
 	eng := ffccd.NewEngine(pool, opt)
 	if *crash {
 		if eng.BeginCycle(ctx) {
@@ -84,6 +110,9 @@ func main() {
 	dumpFragmentation(pool)
 	dumpFrames(pool)
 	dumpReachability(ctx, pool)
+
+	fmt.Println("\nphase timeline (simulated time):")
+	fmt.Print(obsv.TimelineTable(obs))
 }
 
 func dumpPhase(ctx *ffccd.Ctx, p *ffccd.Pool) {

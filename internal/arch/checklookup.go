@@ -2,10 +2,32 @@ package arch
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"ffccd/internal/bloom"
 	"ffccd/internal/sim"
 )
+
+// CLUStats is an optional shared sink for checklookup-unit counters. Units
+// are transient — one per read-barrier resolve context — so their own
+// counters vanish with them; an engine that wants machine-wide BFC/PMFTLB
+// totals (the obsv snapshot groups) hands every unit it creates the same
+// CLUStats. Atomic because resolves run on every simulated thread. Purely
+// host-side bookkeeping: it never charges cycles.
+type CLUStats struct {
+	BFCHits, BFCMisses       atomic.Uint64
+	PMFTLBHits, PMFTLBMisses atomic.Uint64
+}
+
+// Map renders the counters as a snapshot-group map.
+func (s *CLUStats) Map() map[string]uint64 {
+	return map[string]uint64{
+		"bfc_hits":      s.BFCHits.Load(),
+		"bfc_misses":    s.BFCMisses.Load(),
+		"pmftlb_hits":   s.PMFTLBHits.Load(),
+		"pmftlb_misses": s.PMFTLBMisses.Load(),
+	}
+}
 
 // Forwarder is the functional interface to the PM-aware forwarding table
 // (built by the GC's summary phase). The PMFTLB models its lookup *timing*;
@@ -119,6 +141,10 @@ type CheckLookupUnit struct {
 	// Counters.
 	BFCHits, BFCMisses       uint64
 	PMFTLBHits, PMFTLBMisses uint64
+
+	// Shared, when non-nil, additionally receives every counter increment
+	// (see CLUStats).
+	Shared *CLUStats
 }
 
 type pmftlbEntry struct {
@@ -153,11 +179,17 @@ func (u *CheckLookupUnit) check(ctx *sim.Ctx, va uint64, bs *BloomSet) bool {
 	if !u.bfcValid || u.bfcIdx != idx {
 		// §4.3.2 step 1: fetch the covering bloom filter from memory.
 		u.BFCMisses++
+		if u.Shared != nil {
+			u.Shared.BFCMisses.Add(1)
+		}
 		ctx.Charge(u.cfg.BloomMissLatency)
 		u.bfcValid = true
 		u.bfcIdx = idx
 	} else {
 		u.BFCHits++
+		if u.Shared != nil {
+			u.Shared.BFCHits.Add(1)
+		}
 	}
 	ctx.Charge(u.cfg.BloomCheckLatency)
 	return bs.Ranges[idx].Filter.Test(va >> FrameShift)
@@ -189,9 +221,15 @@ func (u *CheckLookupUnit) lookup(ctx *sim.Ctx, va uint64, fwd Forwarder) (uint64
 	}
 	if hit {
 		u.PMFTLBHits++
+		if u.Shared != nil {
+			u.Shared.PMFTLBHits.Add(1)
+		}
 		ctx.Charge(u.cfg.PMFTLBLatency)
 	} else {
 		u.PMFTLBMisses++
+		if u.Shared != nil {
+			u.Shared.PMFTLBMisses.Add(1)
+		}
 		// Walk the in-PM PMFT (persisted by the summary phase).
 		ctx.Charge(u.cfg.PMFTLBLatency + u.cfg.PMReadLatency)
 		victim.valid = true

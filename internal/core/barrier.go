@@ -18,17 +18,32 @@ type readBarrier struct {
 }
 
 // cluFor returns the calling thread's checklookup unit, lazily created and
-// cached in the per-thread context (one unit per simulated core).
-func cluFor(ctx *sim.Ctx, cfg *sim.Config) *arch.CheckLookupUnit {
+// cached in the per-thread context (one unit per simulated core). shared is
+// the engine's aggregate counter sink (nil when observability is off).
+func cluFor(ctx *sim.Ctx, cfg *sim.Config, shared *arch.CLUStats) *arch.CheckLookupUnit {
 	if u, ok := ctx.HW.(*arch.CheckLookupUnit); ok {
 		return u
 	}
 	u := arch.NewCheckLookupUnit(cfg)
+	u.Shared = shared
 	ctx.HW = u
 	return u
 }
 
+// Resolve wraps resolve with the read-barrier latency histogram when
+// observability is enabled. The clock delta is read, never charged, so the
+// instrumented and bare paths charge identical cycles.
 func (b *readBarrier) Resolve(ctx *sim.Ctx, ref pmop.Ptr) pmop.Ptr {
+	if h := b.e.hBarrier; h != nil {
+		t0 := ctx.Clock.Total()
+		out := b.resolve(ctx, ref)
+		h.Observe(ctx.Clock.Total() - t0)
+		return out
+	}
+	return b.resolve(ctx, ref)
+}
+
+func (b *readBarrier) resolve(ctx *sim.Ctx, ref pmop.Ptr) pmop.Ptr {
 	e, ep := b.e, b.ep
 	p := e.pool
 	if ref.PoolID() != p.ID() {
@@ -44,7 +59,7 @@ func (b *readBarrier) Resolve(ctx *sim.Ctx, ref pmop.Ptr) pmop.Ptr {
 	var dstOff uint64
 	if ep.scheme == SchemeFFCCDCheckLookup {
 		// Hardware checklookup: BFC + PMFTLB (§4.3.2).
-		dstVA, ok := cluFor(clCtx, e.cfg).CheckLookup(clCtx, p.VA(off), ep.blooms, ep.fwd)
+		dstVA, ok := cluFor(clCtx, e.cfg, e.cluStats).CheckLookup(clCtx, p.VA(off), ep.blooms, ep.fwd)
 		if !ok {
 			return ref
 		}

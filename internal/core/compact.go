@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ffccd/internal/alloc"
+	"ffccd/internal/obsv"
 	"ffccd/internal/pmem"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
@@ -190,13 +191,28 @@ func (e *Engine) finishEpoch(ctx *sim.Ctx, ep *epochState) {
 
 	p.StopWorld()
 	defer p.ResumeWorld()
+	o := e.obs
+	var t0 uint64
+	if o != nil {
+		t0 = obsv.Now(ctx)
+	}
 	e.finishEpochLocked(ctx, ep)
+	if o != nil {
+		o.Tracer.Span(ctx, obsv.KindSTW, t0, 0)
+		e.hSTW.Observe(obsv.Now(ctx) - t0)
+	}
 }
 
 // finishEpochLocked is the terminate tail; the caller holds the world.
 func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
 	p := e.pool
 	gctx := ctx.Derived(sim.CatGCMisc)
+
+	o := e.obs
+	var tFix uint64
+	if o != nil {
+		tFix = obsv.Now(ctx)
+	}
 
 	// Final reference fixup: one reachability pass rewriting every pointer
 	// that still aims into a relocation frame (§5: "defragmentation runs
@@ -212,6 +228,9 @@ func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
 		}
 		return ref
 	})
+	if o != nil {
+		o.Tracer.Span(ctx, obsv.KindBarrierFix, tFix, uint64(len(ep.objects)))
+	}
 
 	// Heal application-held volatile pointer caches (handle maps, DRAM
 	// indexes) while the world is stopped and the forwarding info is live.
@@ -252,4 +271,11 @@ func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
 	e.mu.Lock()
 	e.epoch = nil
 	e.mu.Unlock()
+	if o != nil {
+		// The whole epoch, opening stop-the-world through terminate. The
+		// barrier (and checklookup hardware, when configured) was live from
+		// the same window's start until now.
+		o.Tracer.Span(ctx, obsv.KindEpoch, ep.obsStart, ep.epochNo)
+		o.Tracer.Span(ctx, obsv.KindCheckLookup, ep.obsStart, ep.epochNo)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"ffccd/internal/arch"
+	"ffccd/internal/obsv"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
 )
@@ -77,6 +78,9 @@ type Options struct {
 	// AutoTrigger runs cycles from a background goroutine when pmalloc/pfree
 	// observe high fragmentation. When false, RunCycle is manual.
 	AutoTrigger bool
+	// Obs enables observability from construction (equivalent to SetObs right
+	// after NewEngine, but also covers activity during Recover). Nil = off.
+	Obs *obsv.Obs
 }
 
 // NormalParams are the paper's normal defragmentation parameters (Redis
@@ -127,6 +131,16 @@ type Engine struct {
 	objectsMoved   atomic.Uint64
 	barrierMoves   atomic.Uint64
 	leaksReclaimed atomic.Uint64
+
+	// Observability (nil when disabled — every emit site checks). The
+	// histogram pointers are resolved once in SetObs so hot paths never touch
+	// the registry; cluStats is the shared sink transient checklookup units
+	// report into.
+	obs      *obsv.Obs
+	hSTW     *obsv.Histogram
+	hBatch   *obsv.Histogram
+	hBarrier *obsv.Histogram
+	cluStats *arch.CLUStats
 }
 
 // NewEngine attaches a defragmentation engine to a pool. For the FFCCD
@@ -150,6 +164,9 @@ func NewEngine(p *pmop.Pool, opt Options) *Engine {
 	}
 	if opt.Scheme == SchemeSFCCD {
 		p.SetTxAddHook(e.sfccdTxAddHook)
+	}
+	if opt.Obs != nil {
+		e.SetObs(opt.Obs)
 	}
 	if opt.AutoTrigger && opt.Scheme != SchemeNone {
 		p.SetAllocHook(e.checkTrigger)
@@ -186,6 +203,46 @@ func (e *Engine) Stats() EngineStats {
 		BarrierMoves:   e.barrierMoves.Load(),
 		LeaksReclaimed: e.leaksReclaimed.Load(),
 	}
+}
+
+// Add folds other into s. The fork-based experiment driver uses it to merge
+// the shared prefix engine's pre-divergence activity into each forked run's
+// stats so forked and scratch runs report identical engine totals.
+func (s *EngineStats) Add(other EngineStats) {
+	s.Cycles += other.Cycles
+	s.FramesReleased += other.FramesReleased
+	s.ObjectsMoved += other.ObjectsMoved
+	s.BarrierMoves += other.BarrierMoves
+	s.LeaksReclaimed += other.LeaksReclaimed
+}
+
+// SetObs wires the observability bundle into the engine: epoch/phase event
+// tracing plus the stw_pause_cycles, relocate_batch_objects, and
+// read_barrier_cycles histograms, and the "engine"/"checklookup" snapshot
+// groups. Call once, before the engine runs; nil disables (the default).
+// Observability never charges simulated cycles — events carry clock readings
+// only — so enabling it leaves golden cycle totals bit-identical.
+func (e *Engine) SetObs(o *obsv.Obs) {
+	e.obs = o
+	if o == nil {
+		e.hSTW, e.hBatch, e.hBarrier, e.cluStats = nil, nil, nil, nil
+		return
+	}
+	e.hSTW = o.Metrics.Hist("stw_pause_cycles")
+	e.hBatch = o.Metrics.Hist("relocate_batch_objects")
+	e.hBarrier = o.Metrics.Hist("read_barrier_cycles")
+	e.cluStats = &arch.CLUStats{}
+	o.Metrics.RegisterGroup("engine", func() map[string]uint64 {
+		s := e.Stats()
+		return map[string]uint64{
+			"cycles":          s.Cycles,
+			"frames_released": s.FramesReleased,
+			"objects_moved":   s.ObjectsMoved,
+			"barrier_moves":   s.BarrierMoves,
+			"leaks_reclaimed": s.LeaksReclaimed,
+		}
+	})
+	o.Metrics.RegisterGroup("checklookup", e.cluStats.Map)
 }
 
 // checkTrigger is the pmalloc/pfree hook (§5): signal the engine when the
@@ -283,6 +340,11 @@ func (e *Engine) StepCompaction(ctx *sim.Ctx, n int) int {
 	if ep == nil {
 		return 0
 	}
+	o := e.obs
+	var t0 uint64
+	if o != nil {
+		t0 = obsv.Now(ctx)
+	}
 	moved := 0
 	for i := range ep.objects {
 		if moved >= n {
@@ -292,6 +354,10 @@ func (e *Engine) StepCompaction(ctx *sim.Ctx, n int) int {
 			e.relocateObject(ctx.Derived(sim.CatCopy), ep, i, false)
 			moved++
 		}
+	}
+	if o != nil && moved > 0 {
+		o.Tracer.Span(ctx, obsv.KindCopy, t0, uint64(moved))
+		e.hBatch.Observe(uint64(moved))
 	}
 	return moved
 }
@@ -331,11 +397,31 @@ func (e *Engine) prepare(ctx *sim.Ctx) *epochState {
 	p.StopWorld()
 	defer p.ResumeWorld()
 
+	o := e.obs
+	var t0, t1 uint64
+	if o != nil {
+		t0 = obsv.Now(ctx)
+	}
 	live := e.mark(ctx.Derived(sim.CatMark), nil)
+	if o != nil {
+		t1 = obsv.Now(ctx)
+		o.Tracer.Span(ctx, obsv.KindMark, t0, uint64(len(live)))
+	}
 	ep := e.summary(ctx.Derived(sim.CatSummary), live)
+	if o != nil {
+		var objs, began uint64
+		if ep != nil {
+			objs, began = uint64(len(ep.objects)), 1
+		}
+		o.Tracer.Span(ctx, obsv.KindSummary, t1, objs)
+		o.Tracer.Span(ctx, obsv.KindSTW, t0, 0)
+		e.hSTW.Observe(obsv.Now(ctx) - t0)
+		o.Tracer.Instant(ctx, obsv.KindTrigger, began)
+	}
 	if ep == nil {
 		return nil
 	}
+	ep.obsStart = t0
 	e.mu.Lock()
 	e.epoch = ep
 	e.mu.Unlock()
@@ -347,6 +433,11 @@ func (e *Engine) prepare(ctx *sim.Ctx) *epochState {
 // Application threads run concurrently, relocating on demand through the
 // read barrier.
 func (e *Engine) compact(ctx *sim.Ctx, ep *epochState) {
+	o := e.obs
+	var t0 uint64
+	if o != nil {
+		t0 = obsv.Now(ctx)
+	}
 	moved := 0
 	for _, obj := range ep.objects {
 		if ep.isMoved(obj.index) {
@@ -360,5 +451,9 @@ func (e *Engine) compact(ctx *sim.Ctx, ep *epochState) {
 			// a 1µs sleep really costs tens of µs per batch.
 			runtime.Gosched()
 		}
+	}
+	if o != nil {
+		o.Tracer.Span(ctx, obsv.KindCopy, t0, uint64(moved))
+		e.hBatch.Observe(uint64(moved))
 	}
 }

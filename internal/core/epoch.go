@@ -72,6 +72,11 @@ type epochState struct {
 
 	tombMu     sync.Mutex
 	tombstoned map[uint64]bool // srcHdr offsets already tombstoned (SFCCD)
+
+	// obsStart is the simulated cycle the epoch's opening stop-the-world
+	// began at, recorded only when observability is enabled so terminate can
+	// emit the whole-epoch span. Host-side bookkeeping; never charged.
+	obsStart uint64
 }
 
 func (ep *epochState) isMoved(i int) bool  { return atomic.LoadUint32(&ep.moved[i]) == 1 }

@@ -6,6 +6,7 @@ import (
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/arch"
+	"ffccd/internal/obsv"
 	"ffccd/internal/pmem"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
@@ -31,8 +32,16 @@ import (
 // tx rollback + allocator rebuild).
 func Recover(ctx *sim.Ctx, p *pmop.Pool, opt Options) (*Engine, error) {
 	e := NewEngine(p, opt)
-	if err := e.recover(ctx.Derived(sim.CatRecovery)); err != nil {
+	rctx := ctx.Derived(sim.CatRecovery)
+	var t0 uint64
+	if e.obs != nil {
+		t0 = obsv.Now(rctx)
+	}
+	if err := e.recover(rctx); err != nil {
 		return nil, err
+	}
+	if o := e.obs; o != nil {
+		o.Tracer.Span(rctx, obsv.KindRecovery, t0, 0)
 	}
 	return e, nil
 }
@@ -57,6 +66,9 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	if err != nil {
 		return err
 	}
+	// For the epoch span emitted at terminate: the resumed epoch's observable
+	// window starts where recovery picked it up.
+	ep.obsStart = ctx.Clock.Total()
 
 	// The interrupted scheme may need the relocate/RBB hardware even if the
 	// engine was reopened with a different configuration.

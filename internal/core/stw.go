@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"ffccd/internal/obsv"
 	"ffccd/internal/sim"
 )
 
@@ -37,6 +38,7 @@ func (e *Engine) RunCycleSTW(ctx *sim.Ctx) (uint64, bool) {
 	if ep == nil {
 		return ctx.Clock.Total() - start, false
 	}
+	ep.obsStart = start
 	e.mu.Lock()
 	e.epoch = ep
 	e.mu.Unlock()
@@ -53,6 +55,10 @@ func (e *Engine) RunCycleSTW(ctx *sim.Ctx) (uint64, bool) {
 	e.stw.mu.Lock()
 	e.stw.pauses = append(e.stw.pauses, pause)
 	e.stw.mu.Unlock()
+	if o := e.obs; o != nil {
+		o.Tracer.Span(ctx, obsv.KindSTW, start, 0)
+		e.hSTW.Observe(pause)
+	}
 	return pause, true
 }
 

@@ -260,12 +260,14 @@ func Run(spec Spec) (Outcome, error) {
 
 	var eng *core.Engine
 	gcCtx := sim.NewCtx(&env.Cfg)
+	obs := newRunObs(spec, "", env.RT.Device(), env.Ctx, gcCtx)
 	if spec.Scheme != core.SchemeNone {
 		opt := core.Options{
 			Scheme:       spec.Scheme,
 			TriggerRatio: spec.Trigger,
 			TargetRatio:  spec.Target,
 			BatchObjects: 64,
+			Obs:          obs,
 		}
 		eng = core.NewEngine(env.Pool, opt)
 		// Deterministic concurrency: the maintenance tick starts an epoch
@@ -301,6 +303,8 @@ func Run(spec Spec) (Outcome, error) {
 			}
 		}
 	}
+
+	registerRunGroups(obs, env.Ctx, gcCtx, eng)
 
 	var res workload.Result
 	if spec.Threads <= 1 {

@@ -35,12 +35,14 @@ import (
 // engine.
 //
 // Forked runs reproduce scratch runs bit-identically in simulated cycle
-// totals, device counters and frag ratios (pinned by TestGoldenCycles'
-// fork replay and TestForkMatchesScratch). Engine counters are the one
-// deliberate exception: a scratch engine accumulates leak-reclaim counts
-// from the shared prefix's failed attempts, while a fork's engine is born
-// at the divergence point — the simulated machine state is identical, only
-// the host-side attribution of pre-divergence bookkeeping differs.
+// totals, device counters, frag ratios AND engine counters (pinned by
+// TestGoldenCycles' fork replay and TestForkMatchesScratch). Engine counters
+// need one extra step: a scratch engine accumulates leak-reclaim counts from
+// the failed pre-divergence attempts, while a fork's engine is born at the
+// divergence point — so the checkpoint captures the prefix engine's stats
+// (taken *before* the successful attempt, hence exactly the failed-attempt
+// bookkeeping, which is scheme-independent) and runFork folds them into each
+// forked outcome.
 
 // forkEnabled gates the fork driver (on by default; cmd/ffccd-bench -fork).
 var forkEnabled atomic.Bool
@@ -53,7 +55,7 @@ func SetFork(on bool) { forkEnabled.Store(on) }
 // ForkEnabled reports whether the fork driver is active.
 func ForkEnabled() bool { return forkEnabled.Load() }
 
-// Fork-driver counters (reported in BENCH_2.json).
+// Fork-driver counters (reported in the BENCH_*.json records).
 var (
 	forkPrefixes    atomic.Uint64 // shared prefixes built
 	forkCheckpoints atomic.Uint64 // machine checkpoints taken (one per BeginCycle attempt)
@@ -84,6 +86,13 @@ type machineCheckpoint struct {
 	ops     uint64
 	txOrder []int
 	runner  *workload.RunnerCheckpoint
+
+	// engine holds the prefix engine's counters at the checkpoint: the
+	// bookkeeping of every failed pre-divergence trigger attempt (leak
+	// reclamation; failures move no objects), which is scheme-independent.
+	// Forked outcomes add it so they report the same engine activity a
+	// scratch run would.
+	engine core.EngineStats
 }
 
 // prefixState is the outcome of building one cell's shared prefix: either a
@@ -99,13 +108,14 @@ type prefixState struct {
 	outcome Outcome // valid when !forked (Spec.Scheme must be overwritten)
 }
 
-func captureMachine(chk *machineCheckpoint, env *Env, gcCtx *sim.Ctx) {
+func captureMachine(chk *machineCheckpoint, env *Env, gcCtx *sim.Ctx, eng *core.Engine) {
 	env.RT.Device().CheckpointInto(&chk.dev)
 	env.Pool.Heap().CheckpointInto(&chk.heap)
 	env.Ctx.CheckpointInto(&chk.appCtx)
 	gcCtx.CheckpointInto(&chk.gcCtx)
 	chk.ops = env.Pool.Ops.Load()
 	chk.txOrder = env.Pool.TxSlotOrder()
+	chk.engine = eng.Stats()
 }
 
 // buildPrefix runs spec's workload up to the scheme-divergence point.
@@ -125,12 +135,15 @@ func buildPrefix(spec Spec) (*prefixState, error) {
 		return nil, err
 	}
 	gcCtx := sim.NewCtx(&env.Cfg)
+	obs := newRunObs(spec, "/prefix", env.RT.Device(), env.Ctx, gcCtx)
 	eng := core.NewEngine(env.Pool, core.Options{
 		Scheme:       core.SchemeEspresso,
 		TriggerRatio: spec.Trigger,
 		TargetRatio:  spec.Target,
 		BatchObjects: 64,
+		Obs:          obs,
 	})
+	registerRunGroups(obs, env.Ctx, gcCtx, eng)
 	pre := &prefixState{spec: spec}
 
 	var r *workload.Runner
@@ -144,7 +157,7 @@ func buildPrefix(spec Spec) (*prefixState, error) {
 		// Checkpoint before the attempt: a failed attempt still reclaims
 		// leaks and charges mark/summary cycles, all of which is shared
 		// prefix; a successful one diverges, so the forks must re-run it.
-		captureMachine(&pre.chk, env, gcCtx)
+		captureMachine(&pre.chk, env, gcCtx, eng)
 		forkCheckpoints.Add(1)
 		if eng.BeginCycle(gcCtx) {
 			r.RequestStop()
@@ -209,12 +222,15 @@ func runFork(pre *prefixState, spec Spec) (Outcome, error) {
 	gcCtx.Restore(&pre.chk.gcCtx)
 	store := pre.store.(ds.Forker).Fork(pool)
 
+	obs := newRunObs(spec, "/fork", dev, ctx, gcCtx)
 	eng := core.NewEngine(pool, core.Options{
 		Scheme:       spec.Scheme,
 		TriggerRatio: spec.Trigger,
 		TargetRatio:  spec.Target,
 		BatchObjects: 64,
+		Obs:          obs,
 	})
+	registerRunGroups(obs, ctx, gcCtx, eng)
 	// The standard scheme hooks (identical to Run's): the resumed runner's
 	// first action is this Maintenance, re-running the divergence attempt
 	// under spec.Scheme.
@@ -248,6 +264,9 @@ func runFork(pre *prefixState, spec Spec) (Outcome, error) {
 		return Outcome{}, fmt.Errorf("experiments: forked run suspended unexpectedly")
 	}
 	out := assembleOutcome(spec, res, ctx, gcCtx, eng, dev)
+	// Fold in the prefix engine's pre-divergence bookkeeping so forked and
+	// scratch runs report identical engine activity.
+	out.Engine.Add(pre.chk.engine)
 	dev.ReleaseMedia()
 	return out, nil
 }

@@ -10,10 +10,10 @@ import (
 
 // sameSimulatedMachine fails the test unless two outcomes agree on every
 // simulated observable the golden contract pins: per-category cycle totals,
-// device counters, op counts and frag ratios. Engine counters are excluded
-// by design — a fork's engine is born at the divergence point, so its
-// host-side bookkeeping (e.g. leaks reclaimed during the shared prefix's
-// failed attempts) is attributed to the prefix engine instead.
+// device counters, engine counters, op counts and frag ratios. Engine
+// counters match because the fork driver folds the prefix engine's
+// pre-divergence bookkeeping (failed-attempt leak reclamation) into each
+// forked outcome.
 func sameSimulatedMachine(t *testing.T, label string, scratch, fork Outcome) {
 	t.Helper()
 	if scratch.Cycles != fork.Cycles {
@@ -21,6 +21,9 @@ func sameSimulatedMachine(t *testing.T, label string, scratch, fork Outcome) {
 	}
 	if scratch.Device != fork.Device {
 		t.Errorf("%s: device counters diverge\n  scratch %+v\n  fork    %+v", label, scratch.Device, fork.Device)
+	}
+	if scratch.Engine != fork.Engine {
+		t.Errorf("%s: engine counters diverge\n  scratch %+v\n  fork    %+v", label, scratch.Engine, fork.Engine)
 	}
 	if scratch.TotalOps != fork.TotalOps {
 		t.Errorf("%s: total ops diverge: %d vs %d", label, scratch.TotalOps, fork.TotalOps)

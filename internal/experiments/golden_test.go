@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ffccd/internal/core"
+	"ffccd/internal/obsv"
 )
 
 // goldenRun mirrors one entry of testdata/golden_cycles.json — the exact
@@ -63,6 +64,13 @@ func TestGoldenCycles(t *testing.T) {
 	if len(golden) == 0 {
 		t.Fatal("empty golden file")
 	}
+	// Run every golden spec with observability ENABLED. Tracing and metrics
+	// read simulated clocks but never charge them, so the goldens must hold
+	// bit-for-bit with a collector installed — this is the package's
+	// non-perturbation contract under its heaviest consumer.
+	col := obsv.NewCollector(0)
+	SetObsCollector(col)
+	t.Cleanup(func() { SetObsCollector(nil) })
 	for _, g := range golden {
 		g := g
 		name := fmt.Sprintf("%s_%s_shift%d_seed%d", g.Store, g.Scheme, g.PageShift, g.Seed)
@@ -126,6 +134,49 @@ func checkGolden(t *testing.T, out Outcome, g goldenRun) {
 		if c.got != c.want {
 			t.Errorf("device.%s = %d, golden %d", c.name, c.got, c.want)
 		}
+	}
+}
+
+// TestTracingDoesNotPerturb runs the same spec with observability off and
+// on and demands identical simulated results, while also proving the trace
+// actually recorded activity (an accidentally-dead tracer would make the
+// comparison vacuous). Single-threaded spec: with Threads > 1 the goroutine
+// interleaving itself is nondeterministic run to run, so only 1-thread runs
+// carry the repeatability contract (same as TestCycleDeterminism).
+func TestTracingDoesNotPerturb(t *testing.T) {
+	spec := Spec{Store: "SS", Threads: 1, Scheme: core.SchemeFFCCDCheckLookup,
+		Scale: 0.001, PageShift: 12, Seed: 5}
+	spec.Trigger, spec.Target = core.NormalParams()
+
+	SetObsCollector(nil)
+	off, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := obsv.NewCollector(0)
+	SetObsCollector(col)
+	defer SetObsCollector(nil)
+	on, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if off.Cycles != on.Cycles {
+		t.Errorf("tracing perturbed cycles:\n  off %v\n  on  %v", off.Cycles, on.Cycles)
+	}
+	if off.Device != on.Device {
+		t.Errorf("tracing perturbed device counters:\n  off %+v\n  on  %+v", off.Device, on.Device)
+	}
+	if off.Engine != on.Engine {
+		t.Errorf("tracing perturbed engine counters:\n  off %+v\n  on  %+v", off.Engine, on.Engine)
+	}
+	flat := col.MetricsSummary()
+	if flat["trace.events"] == 0 {
+		t.Error("collector recorded no trace events — tracer was dead, comparison vacuous")
+	}
+	if flat["stw_pause_cycles.count"] == 0 {
+		t.Error("no STW pauses recorded; FFCCD run should have triggered epochs")
 	}
 }
 

@@ -16,10 +16,21 @@ import (
 	"ffccd/internal/checker"
 	"ffccd/internal/core"
 	"ffccd/internal/ds"
+	"ffccd/internal/obsv"
 	"ffccd/internal/pmem"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
 )
+
+// obsFactory, when set, supplies a fresh observability bundle per trial.
+// The injected crash fires the bundle's OnCrash hook (flight-recorder dump)
+// at the fault, before recovery runs. Tracing reads simulated clocks but
+// never charges them, so trial outcomes are unaffected.
+var obsFactory func(setting Setting, seed int64) *obsv.Obs
+
+// SetObsFactory installs (or with nil removes) the per-trial observability
+// factory. Not safe to change while trials run.
+func SetObsFactory(f func(Setting, int64) *obsv.Obs) { obsFactory = f }
 
 // Setting is one validation configuration.
 type Setting struct {
@@ -162,11 +173,20 @@ func Trial(setting Setting, seed int64) error {
 	}
 	p.Device().FlushAll(ctx)
 
+	var obs *obsv.Obs
+	if obsFactory != nil {
+		if obs = obsFactory(setting, seed); obs != nil {
+			obs.Tracer.Name(ctx, "driver")
+			p.Device().SetObs(obs)
+		}
+	}
+
 	// Start a defragmentation epoch and advance it a random amount.
 	opt := core.DefaultOptions()
 	opt.Scheme = setting.Scheme
 	opt.TriggerRatio = 1.01
 	opt.TargetRatio = 1.05
+	opt.Obs = obs
 	e := core.NewEngine(p, opt)
 	if !e.BeginCycle(ctx) {
 		// Not fragmented enough this time; that is a (trivially) passing

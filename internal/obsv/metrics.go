@@ -1,0 +1,271 @@
+package obsv
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two buckets a histogram keeps:
+// bucket i counts values v with bits.Len64(v) == i, i.e. bucket 0 holds
+// zero and bucket i>0 holds [2^(i-1), 2^i). 65 buckets cover all of uint64.
+const histBuckets = 65
+
+// Histogram is a cycle-domain histogram with power-of-two buckets. It trades
+// bucket resolution for O(1) constant-memory observation, which is what a
+// hot-path latency recorder needs; percentile estimates are resolved to the
+// upper bound of the containing bucket.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time summary of one histogram.
+type HistSnapshot struct {
+	Name  string
+	Count uint64
+	Sum   uint64
+	Min   uint64
+	Max   uint64
+	P50   uint64 // bucket-upper-bound estimates
+	P95   uint64
+	P99   uint64
+}
+
+// Mean returns the exact arithmetic mean of observed values.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Snapshot summarizes the histogram. Percentiles are upper bounds of the
+// containing power-of-two bucket, clamped to the observed max.
+func (h *Histogram) Snapshot(name string) HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	quantile := func(q float64) uint64 {
+		target := uint64(q * float64(h.count))
+		if target >= h.count {
+			target = h.count - 1
+		}
+		var seen uint64
+		for i, c := range h.buckets {
+			seen += c
+			if seen > target {
+				u := bucketUpper(i)
+				if u > h.max {
+					u = h.max
+				}
+				return u
+			}
+		}
+		return h.max
+	}
+	s.P50, s.P95, s.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
+	return s
+}
+
+// Counter is a named monotonic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// GroupSnapshot is a point-in-time reading of one registered counter group,
+// with keys sorted for stable output.
+type GroupSnapshot struct {
+	Name string
+	Keys []string
+	Vals []uint64
+}
+
+// Snapshot is a full registry reading: every histogram, counter, and group.
+type Snapshot struct {
+	Hists    []HistSnapshot
+	Counters []GroupSnapshot // single synthetic group "counters" when any exist
+	Groups   []GroupSnapshot
+}
+
+// Registry holds the machine's metrics: named histograms and counters
+// created by instrumented components, plus snapshot groups — closures over
+// counters that already live elsewhere (device stats, engine stats, TLB and
+// checklookup counters), registered so one Snapshot call unifies them all.
+type Registry struct {
+	mu        sync.Mutex
+	hists     map[string]*Histogram
+	histOrder []string
+	ctrs      map[string]*Counter
+	ctrOrder  []string
+	groups    []struct {
+		name string
+		fn   func() map[string]uint64
+	}
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: map[string]*Histogram{}, ctrs: map[string]*Counter{}}
+}
+
+// Hist returns the named histogram, creating it on first use. The returned
+// pointer is stable: components resolve it once at wiring time and keep it,
+// so hot paths never touch the registry map.
+func (r *Registry) Hist(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	r.histOrder = append(r.histOrder, name)
+	return h
+}
+
+// Counter returns the named counter, creating it on first use. Stable
+// pointer, like Hist.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.ctrs[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.ctrs[name] = c
+	r.ctrOrder = append(r.ctrOrder, name)
+	return c
+}
+
+// RegisterGroup registers a named snapshot closure. fn is invoked at
+// Snapshot time and must be safe to call after the run completes.
+func (r *Registry) RegisterGroup(name string, fn func() map[string]uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups = append(r.groups, struct {
+		name string
+		fn   func() map[string]uint64
+	}{name, fn})
+}
+
+func sortedGroup(name string, m map[string]uint64) GroupSnapshot {
+	g := GroupSnapshot{Name: name, Keys: make([]string, 0, len(m))}
+	for k := range m {
+		g.Keys = append(g.Keys, k)
+	}
+	sort.Strings(g.Keys)
+	g.Vals = make([]uint64, len(g.Keys))
+	for i, k := range g.Keys {
+		g.Vals[i] = m[k]
+	}
+	return g
+}
+
+// Snapshot reads every histogram, counter, and registered group.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	hists := append([]string(nil), r.histOrder...)
+	ctrs := append([]string(nil), r.ctrOrder...)
+	groups := append(r.groups[:0:0], r.groups...)
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, name := range hists {
+		s.Hists = append(s.Hists, r.Hist(name).Snapshot(name))
+	}
+	if len(ctrs) > 0 {
+		m := make(map[string]uint64, len(ctrs))
+		for _, name := range ctrs {
+			m[name] = r.Counter(name).Value()
+		}
+		s.Counters = append(s.Counters, sortedGroup("counters", m))
+	}
+	for _, g := range groups {
+		s.Groups = append(s.Groups, sortedGroup(g.name, g.fn()))
+	}
+	return s
+}
+
+// Flat renders the snapshot as a single sorted key→value map — the shape
+// benchmark records and expvar publish. Histograms contribute
+// name.count/.mean/.p50/.p95/.max; groups contribute group.key.
+func (s Snapshot) Flat() map[string]float64 {
+	out := map[string]float64{}
+	for _, h := range s.Hists {
+		out[h.Name+".count"] = float64(h.Count)
+		if h.Count > 0 {
+			out[h.Name+".mean"] = h.Mean()
+			out[h.Name+".p50"] = float64(h.P50)
+			out[h.Name+".p95"] = float64(h.P95)
+			out[h.Name+".max"] = float64(h.Max)
+		}
+	}
+	for _, gs := range [][]GroupSnapshot{s.Counters, s.Groups} {
+		for _, g := range gs {
+			for i, k := range g.Keys {
+				out[g.Name+"."+k] = float64(g.Vals[i])
+			}
+		}
+	}
+	return out
+}
+
+// merge folds other into s for cross-run aggregation: histograms merge
+// count/sum/min/max (percentiles are recomputed as maxima), group values add.
+func mergeFlat(dst, src map[string]float64) {
+	for k, v := range src {
+		switch {
+		case len(k) > 4 && (k[len(k)-4:] == ".p50" || k[len(k)-4:] == ".p95" || k[len(k)-4:] == ".max"):
+			if v > dst[k] {
+				dst[k] = v
+			}
+		case len(k) > 5 && k[len(k)-5:] == ".mean":
+			// Recomputed below from count/sum when both present; otherwise keep max.
+			if v > dst[k] {
+				dst[k] = v
+			}
+		default:
+			dst[k] += v
+		}
+	}
+}

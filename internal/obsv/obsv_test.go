@@ -1,0 +1,216 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ffccd/internal/sim"
+)
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := &Histogram{}
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot("lat")
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if got, want := s.Mean(), 50.5; got != want {
+		t.Fatalf("mean = %v want %v", got, want)
+	}
+	// Power-of-two buckets: the p50 estimate must bound the true median (50)
+	// from above within its bucket [32,64), and p99 within [64,128) clamped
+	// to the observed max.
+	if s.P50 < 50 || s.P50 > 63 {
+		t.Fatalf("p50 = %d, want within [50,63]", s.P50)
+	}
+	if s.P99 != 100 {
+		t.Fatalf("p99 = %d, want clamped to max 100", s.P99)
+	}
+	if zero := (&Histogram{}).Snapshot("z"); zero.Count != 0 || zero.Mean() != 0 {
+		t.Fatalf("empty snapshot = %+v", zero)
+	}
+}
+
+func TestRingOverwrites(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	ctx := sim.NewCtx(&cfg)
+	tr := NewTracer(4)
+	for i := uint64(0); i < 10; i++ {
+		tr.Instant(ctx, KindWPQDrain, i)
+	}
+	bufs := tr.Threads()
+	if len(bufs) != 1 {
+		t.Fatalf("threads = %d", len(bufs))
+	}
+	ev := bufs[0].Events()
+	if len(ev) != 4 || bufs[0].Dropped != 6 {
+		t.Fatalf("len=%d dropped=%d", len(ev), bufs[0].Dropped)
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Arg != want {
+			t.Fatalf("ring order: ev[%d].Arg = %d want %d", i, e.Arg, want)
+		}
+	}
+	if tr.EventCount() != 10 {
+		t.Fatalf("event count = %d", tr.EventCount())
+	}
+}
+
+func TestDerivedCtxSharesThreadBuffer(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	ctx := sim.NewCtx(&cfg)
+	other := sim.NewCtx(&cfg)
+	tr := NewTracer(0)
+	tr.Name(ctx, "app")
+	tr.Instant(ctx, KindTrigger, 1)
+	tr.Instant(ctx.Derived(sim.CatMark), KindMark, 2)
+	tr.Instant(other, KindTrigger, 3)
+	bufs := tr.Threads()
+	if len(bufs) != 2 {
+		t.Fatalf("threads = %d, want derived ctx to share its parent buffer", len(bufs))
+	}
+	if bufs[0].Name != "app" || len(bufs[0].Events()) != 2 {
+		t.Fatalf("buf0 = %q/%d events", bufs[0].Name, len(bufs[0].Events()))
+	}
+}
+
+func TestSpanUsesSimulatedCycles(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	ctx := sim.NewCtx(&cfg)
+	tr := NewTracer(0)
+	start := Now(ctx)
+	ctx.ChargeCat(sim.CatMark, 1234)
+	tr.Span(ctx, KindMark, start, 7)
+	e := tr.Threads()[0].Events()[0]
+	if e.Start != start || e.End != start+1234 || e.Arg != 7 {
+		t.Fatalf("span = %+v", e)
+	}
+}
+
+func TestMarkCrashPlacesInstantAtLatestCycle(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	ctx := sim.NewCtx(&cfg)
+	tr := NewTracer(0)
+	ctx.ChargeCat(sim.CatApp, 500)
+	tr.Instant(ctx, KindTrigger, 0)
+	tr.MarkCrash()
+	if !tr.Crashed() {
+		t.Fatal("Crashed() = false")
+	}
+	bufs := tr.Threads()
+	last := bufs[len(bufs)-1]
+	if last.Name != "machine" {
+		t.Fatalf("crash buffer name = %q", last.Name)
+	}
+	if e := last.Events()[0]; e.Kind != KindCrash || e.Start != 500 {
+		t.Fatalf("crash event = %+v", e)
+	}
+}
+
+func TestRegistrySnapshotUnifiesGroups(t *testing.T) {
+	r := NewRegistry()
+	r.Hist("read_barrier_cycles").Observe(40)
+	r.Counter("trigger_attempts").Add(3)
+	r.RegisterGroup("device", func() map[string]uint64 {
+		return map[string]uint64{"loads": 10, "clwbs": 2}
+	})
+	s := r.Snapshot()
+	if len(s.Hists) != 1 || len(s.Groups) != 1 || len(s.Counters) != 1 {
+		t.Fatalf("snapshot shape = %d/%d/%d", len(s.Hists), len(s.Groups), len(s.Counters))
+	}
+	if s.Groups[0].Keys[0] != "clwbs" || s.Groups[0].Vals[0] != 2 {
+		t.Fatalf("group not sorted: %+v", s.Groups[0])
+	}
+	flat := s.Flat()
+	if flat["device.loads"] != 10 || flat["counters.trigger_attempts"] != 3 ||
+		flat["read_barrier_cycles.count"] != 1 {
+		t.Fatalf("flat = %v", flat)
+	}
+	// Stable pointers: a second lookup must return the same histogram.
+	if r.Hist("read_barrier_cycles").Snapshot("x").Count != 1 {
+		t.Fatal("Hist() did not return the existing histogram")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	col := NewCollector(0)
+	o := col.NewObs("fig14/FFCCD")
+	ctx := sim.NewCtx(&cfg)
+	o.Tracer.Name(ctx, "gc")
+	start := Now(ctx)
+	ctx.ChargeCat(sim.CatMark, 2600) // 1µs at 2.6GHz
+	o.Tracer.Span(ctx, KindMark, start, 11)
+	o.Tracer.Instant(ctx, KindTrigger, 1)
+
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var sawProc, sawSpan, sawInstant, sawMarkLane, sawEpochLane bool
+	for _, e := range evs {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "process_name" {
+				sawProc = e["args"].(map[string]any)["name"] == "fig14/FFCCD"
+			}
+			if e["name"] == "thread_name" {
+				n := e["args"].(map[string]any)["name"].(string)
+				sawMarkLane = sawMarkLane || n == "gc/mark"
+				sawEpochLane = sawEpochLane || n == "gc/epoch"
+			}
+		case "X":
+			if e["name"] == "mark" && e["dur"].(float64) == 1.0 {
+				sawSpan = true
+			}
+		case "i":
+			sawInstant = sawInstant || e["name"] == "trigger"
+		}
+	}
+	if !sawProc || !sawSpan || !sawInstant || !sawMarkLane || !sawEpochLane {
+		t.Fatalf("missing trace pieces: proc=%v span=%v instant=%v markLane=%v epochLane=%v",
+			sawProc, sawSpan, sawInstant, sawMarkLane, sawEpochLane)
+	}
+}
+
+func TestTimelineAndFlightRecorderDump(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	o := New(2)
+	ctx := sim.NewCtx(&cfg)
+	o.Tracer.Name(ctx, "app")
+	for i := uint64(0); i < 5; i++ {
+		ctx.ChargeCat(sim.CatApp, 100)
+		o.Tracer.Instant(ctx, KindWPQDrain, i)
+	}
+	o.Tracer.MarkCrash()
+	var buf bytes.Buffer
+	if err := WriteFlightRecorder(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"crashed=true", "overwritten by ring", "wpq-drain", "crash"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsSummaryMergesProcesses(t *testing.T) {
+	col := NewCollector(0)
+	a := col.NewObs("a")
+	b := col.NewObs("b")
+	a.Metrics.Hist("h").Observe(10)
+	b.Metrics.Hist("h").Observe(30)
+	m := col.MetricsSummary()
+	if m["h.count"] != 2 || m["h.max"] != 30 || m["trace.processes"] != 2 {
+		t.Fatalf("summary = %v", m)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ffccd/internal/obsv"
 	"ffccd/internal/sim"
 )
 
@@ -141,6 +142,38 @@ type Device struct {
 	exclusive bool
 
 	stat [statShards]statShard
+
+	// Observability (nil when disabled). hWPQ is resolved once in SetObs so
+	// Sfence never touches the registry; ringRec additionally enables the
+	// per-fence/per-relocate instants that only flight-recorder traces keep.
+	obs     *obsv.Obs
+	hWPQ    *obsv.Histogram
+	ringRec bool
+}
+
+// SetObs wires the observability bundle into the device: the wpq_drain_lines
+// histogram, the "device" stats snapshot group, crash instants (plus the
+// bundle's OnCrash hook), and — in flight-recorder ring mode — per-fence
+// drain instants. Call on a quiescent device; nil disables (the default).
+// Never charges simulated cycles.
+func (d *Device) SetObs(o *obsv.Obs) {
+	d.obs = o
+	if o == nil {
+		d.hWPQ, d.ringRec = nil, false
+		return
+	}
+	d.hWPQ = o.Metrics.Hist("wpq_drain_lines")
+	d.ringRec = o.Tracer.RingMode()
+	o.Metrics.RegisterGroup("device", func() map[string]uint64 {
+		s := d.Stats()
+		return map[string]uint64{
+			"loads": s.Loads, "stores": s.Stores, "clwbs": s.Clwbs,
+			"sfences": s.Sfences, "cache_hits": s.CacheHits,
+			"cache_misses": s.CacheMisses, "evictions": s.Evictions,
+			"media_writes": s.MediaWrites, "media_reads": s.MediaReads,
+			"relocate_ops": s.RelocateOps, "pending_reach": s.PendingReach,
+		}
+	})
 }
 
 // SetExclusive declares that exactly one goroutine will use the device until
@@ -388,6 +421,16 @@ func (d *Device) MediaWrite(addr uint64, data []byte) {
 // machine's post-restart persistent state. Not safe to call concurrently
 // with other operations (a real crash stops the machine too).
 func (d *Device) Crash() {
+	if o := d.obs; o != nil {
+		// Record the power failure once the post-crash media state is final,
+		// then hand the bundle to the flight-recorder dump hook.
+		defer func() {
+			o.Tracer.MarkCrash()
+			if o.OnCrash != nil {
+				o.OnCrash(o)
+			}
+		}()
+	}
 	if d.eADR.Load() {
 		// eADR: the battery flushes every cache level; nothing volatile is
 		// lost. Pending lines reach the persistence domain and notify the

@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sync"
 
+	"ffccd/internal/obsv"
 	"ffccd/internal/sim"
 )
 
@@ -277,6 +278,12 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 	if drained > 0 {
 		d.ctxShard(ctx).c[cMediaWrites].Add(uint64(drained))
 		ctx.Charge(uint64(drained) * d.cfg.PMWriteBandwidthPenalty)
+	}
+	if h := d.hWPQ; h != nil {
+		h.Observe(uint64(drained))
+		if d.ringRec {
+			d.obs.Tracer.Instant(ctx, obsv.KindWPQDrain, uint64(drained))
+		}
 	}
 	slices.Sort(reached)
 	for _, lineIdx := range reached {

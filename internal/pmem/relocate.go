@@ -3,6 +3,7 @@ package pmem
 import (
 	"sync"
 
+	"ffccd/internal/obsv"
 	"ffccd/internal/sim"
 )
 
@@ -63,6 +64,13 @@ func (d *Device) Relocate(ctx *sim.Ctx, dst, src, n uint64) {
 // this call).
 func (d *Device) RelocateParts(ctx *sim.Ctx, parts []RelocatePart) {
 	d.ctxShard(ctx).c[cRelocateOps].Add(1)
+	if d.ringRec {
+		var bytes uint64
+		for _, p := range parts {
+			bytes += p.N
+		}
+		d.obs.Tracer.Instant(ctx, obsv.KindRelocate, bytes)
+	}
 	sc := relocPool.Get().(*relocScratch)
 	sc.arena = sc.arena[:0]
 	sc.spans = sc.spans[:0]

@@ -64,6 +64,9 @@ func (t *TLB) Restore(c *TLBCheckpoint) {
 	t.l12m.restore(&c.L12M)
 	t.l2.restore(&c.L2)
 	t.Accesses, t.L1Misses, t.L2Misses = c.Accesses, c.L1Misses, c.L2Misses
+	// The same-page streak trusts its slot index without revalidation, so a
+	// restore (unlike the validated mruIdx/mruTag hints) must disarm it.
+	t.streakMask = 0
 }
 
 // Restore overwrites the per-category counters from a Snapshot.

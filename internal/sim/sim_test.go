@@ -1,9 +1,81 @@
 package sim
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
+
+// accessNoStreak is the pre-streak Access algorithm, kept verbatim as the
+// reference the same-page fast path must match cycle-for-cycle.
+func accessNoStreak(t *TLB, va uint64, pageShift uint) uint64 {
+	t.Accesses++
+	vpn := (va >> pageShift) + 1
+	cycles := t.cfg.TLB1Latency
+	l1 := &t.l14k
+	if pageShift >= 21 {
+		l1 = &t.l12m
+	}
+	if l1.lookup(vpn) {
+		return cycles
+	}
+	t.L1Misses++
+	cycles += t.cfg.TLB2Latency
+	if t.l2.lookup(vpn) {
+		return cycles
+	}
+	t.L2Misses++
+	cycles += t.cfg.TLBMissPenalty + t.cfg.TLBWalkPenaltyExtra
+	return cycles
+}
+
+func TestTLBStreakFastPathBitIdentical(t *testing.T) {
+	// Drive a locality-heavy trace (long same-page runs, page switches, 4K/2M
+	// mixes, flushes, checkpoint round-trips) through the streak fast path and
+	// the reference algorithm; cycles, counters, and array state must match
+	// access-for-access.
+	cfg := DefaultConfig()
+	fast, ref := NewTLB(&cfg), NewTLB(&cfg)
+	rng := rand.New(rand.NewSource(7))
+	var chk TLBCheckpoint
+	page, shift := uint64(0), uint(12)
+	for i := 0; i < 200000; i++ {
+		switch r := rng.Intn(100); {
+		case r < 2: // switch page size
+			if shift == 12 {
+				shift = 21
+			} else {
+				shift = 12
+			}
+			page = rng.Uint64() % (1 << 20)
+		case r < 20: // jump to another page
+			page = rng.Uint64() % (1 << 20)
+		case r == 20: // flush both
+			fast.Flush()
+			ref.Flush()
+		case r == 21: // checkpoint/restore round-trip on the fast TLB only
+			fast.CheckpointInto(&chk)
+			fast.Restore(&chk)
+		}
+		va := page<<shift | (rng.Uint64() & (1<<shift - 1))
+		got, want := fast.Access(va, shift), accessNoStreak(ref, va, shift)
+		if got != want {
+			t.Fatalf("access %d (va=%#x shift=%d): streak path charged %d, reference %d",
+				i, va, shift, got, want)
+		}
+	}
+	if fast.Accesses != ref.Accesses || fast.L1Misses != ref.L1Misses || fast.L2Misses != ref.L2Misses {
+		t.Fatalf("counters diverged: fast %d/%d/%d ref %d/%d/%d",
+			fast.Accesses, fast.L1Misses, fast.L2Misses, ref.Accesses, ref.L1Misses, ref.L2Misses)
+	}
+	var a, b TLBCheckpoint
+	fast.CheckpointInto(&a)
+	ref.CheckpointInto(&b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("TLB array state diverged between streak path and reference")
+	}
+}
 
 func TestDefaultConfigTable2(t *testing.T) {
 	cfg := DefaultConfig()

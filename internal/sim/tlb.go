@@ -20,6 +20,20 @@ type TLB struct {
 	Accesses uint64
 	L1Misses uint64
 	L2Misses uint64
+
+	// Same-page streak fast path (ROADMAP: skip the VPN shift/mask and the
+	// set-associative lookup entirely while consecutive accesses stay on one
+	// page). The streak always describes the immediately preceding Access —
+	// nothing else mutates the L1 arrays between Accesses — so streakIdx
+	// needs no tag revalidation, but it MUST be cleared by Flush and by a
+	// checkpoint Restore (unlike mruIdx/mruTag it is trusted, not validated).
+	// A streak hit replicates an L1 MRU hit exactly: Accesses++, tick bump,
+	// age refresh, TLB1Latency — bit-identical cycles, pinned by the goldens.
+	streakMask  uint64 // ^(pageSize-1); 0 = no streak armed
+	streakTag   uint64 // va & streakMask of the last translation
+	streakShift uint
+	streakSA    *setAssoc
+	streakIdx   int
 }
 
 // setAssoc is a small set-associative array of tags with round-robin-ish LRU.
@@ -128,6 +142,12 @@ func NewTLB(cfg *Config) *TLB {
 // (12 for 4 KB pages, 21 for 2 MB pages) and returns the cycles charged.
 func (t *TLB) Access(va uint64, pageShift uint) uint64 {
 	t.Accesses++
+	if t.streakMask != 0 && pageShift == t.streakShift && va&t.streakMask == t.streakTag {
+		sa := t.streakSA
+		sa.tick++
+		sa.age[t.streakIdx] = sa.tick
+		return t.cfg.TLB1Latency
+	}
 	// Tags must be nonzero; VPN 0 would alias the invalid marker, so bias by 1.
 	vpn := (va >> pageShift) + 1
 	cycles := t.cfg.TLB1Latency
@@ -135,7 +155,15 @@ func (t *TLB) Access(va uint64, pageShift uint) uint64 {
 	if pageShift >= 21 {
 		l1 = &t.l12m
 	}
-	if l1.lookup(vpn) {
+	hit := l1.lookup(vpn)
+	// lookup set l1.mruIdx to vpn's slot on hit and insert alike, so the next
+	// same-page access can refresh its recency without re-probing.
+	t.streakMask = ^uint64(0) << pageShift
+	t.streakTag = va & t.streakMask
+	t.streakShift = pageShift
+	t.streakSA = l1
+	t.streakIdx = l1.mruIdx
+	if hit {
 		return cycles
 	}
 	t.L1Misses++
@@ -153,4 +181,5 @@ func (t *TLB) Flush() {
 	t.l14k.flush()
 	t.l12m.flush()
 	t.l2.flush()
+	t.streakMask = 0
 }

@@ -2,6 +2,8 @@ package trace_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 
 	"ffccd/internal/checker"
@@ -290,6 +292,53 @@ func TestReadRejectsTruncatedStream(t *testing.T) {
 	cut := buf.Bytes()[:buf.Len()-7] // mid-record
 	if _, err := trace.Read(bytes.NewReader(cut)); err == nil {
 		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestReadRejectsWrongMagicInWellFormedHeader(t *testing.T) {
+	// A structurally valid 16-byte header whose magic is off by one bit must
+	// be rejected by the magic check itself, not by a length error further in.
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], 0x46464344_54524331^1)
+	binary.LittleEndian.PutUint64(hdr[8:16], 0) // zero records: nothing else to object to
+	_, err := trace.Read(bytes.NewReader(hdr[:]))
+	if err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("want a bad-magic error, got: %v", err)
+	}
+}
+
+func TestReadRejectsTruncatedHeader(t *testing.T) {
+	// Fewer than 16 header bytes — including a prefix that starts with the
+	// correct magic — must fail cleanly rather than read records.
+	tr := trace.Generate(trace.GenerateConfig{
+		Ops: 10, KeySpace: 10, MinVal: 8, MaxVal: 8, InsertPct: 100, Seed: 1,
+	})
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 8, 15} {
+		if _, err := trace.Read(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Fatalf("%d-byte header accepted", n)
+		}
+	}
+}
+
+func TestReadRejectsHeaderPromisingMissingRecords(t *testing.T) {
+	// A valid header whose record count exceeds the stream's contents must
+	// report truncation at the first absent record.
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], 0x46464344_54524331)
+	binary.LittleEndian.PutUint64(hdr[8:16], 3)
+	_, err := trace.Read(bytes.NewReader(hdr[:]))
+	if err == nil {
+		t.Fatal("record-less stream accepted")
+	}
+	if !strings.Contains(err.Error(), "truncated at record 0") {
+		t.Fatalf("want truncation at record 0, got: %v", err)
 	}
 }
 

@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — produce the machine-readable host-performance record BENCH_2.json.
+# bench.sh — produce the machine-readable host-performance record BENCH_3.json.
 #
 # Runs the Figure 5/14 drivers (the heaviest experiment fan-outs) with the
 # checkpoint/fork driver on and off, recording host seconds, the fork
@@ -9,13 +9,19 @@
 # test pins this. Each configuration repeats (-repeat) so the file carries
 # host-time variance instead of duplicating near-identical experiment lines.
 #
+# The final two rows re-run fig14 (fork on) with tracing enabled: once with
+# a full Chrome trace and once in flight-recorder ring mode. Comparing their
+# host_seconds against the tracing-disabled fig14 fork rows is the recorded
+# evidence for the observability overhead claims (disabled: the rows above
+# never install a collector, so they ARE the disabled-overhead measurement).
+#
 # Usage: scripts/bench.sh [scale] [repeat]   (defaults 0.002 and 2)
 set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-0.002}"
 REPEAT="${2:-2}"
-OUT="BENCH_2.json"
+OUT="BENCH_3.json"
 
 go build -o /tmp/ffccd-bench ./cmd/ffccd-bench
 
@@ -23,13 +29,18 @@ go build -o /tmp/ffccd-bench ./cmd/ffccd-bench
 /tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -fork=true -repeat "$REPEAT" -json /tmp/bench_fig5_fork.json >/dev/null
 /tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT" -json /tmp/bench_fig14_nofork.json >/dev/null
 /tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=true -repeat "$REPEAT" -json /tmp/bench_fig14_fork.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=true -repeat "$REPEAT" \
+  -trace /tmp/bench_fig14.trace.json -json /tmp/bench_fig14_trace.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=true -repeat "$REPEAT" \
+  -trace /tmp/bench_fig14.ring.json -trace-ring 256 -json /tmp/bench_fig14_ring.json >/dev/null
 
 # Merge the per-configuration record arrays into one file.
 {
   printf '[\n'
   first=1
   for f in /tmp/bench_fig5_nofork.json /tmp/bench_fig5_fork.json \
-           /tmp/bench_fig14_nofork.json /tmp/bench_fig14_fork.json; do
+           /tmp/bench_fig14_nofork.json /tmp/bench_fig14_fork.json \
+           /tmp/bench_fig14_trace.json /tmp/bench_fig14_ring.json; do
     [ "$first" = 1 ] || printf ',\n'
     first=0
     sed '1d;$d' "$f"
