@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-host benchdiff golden clean
+.PHONY: all build test race vet fmt check bench bench-host benchdiff golden crashmatrix clean
 
 all: check
 
@@ -23,9 +23,18 @@ fmt:
 race:
 	$(GO) test -race -short ./...
 
+# crashmatrix is the reduced scheduled crash campaign: every one of the 26
+# settings, a pinned seed, stratified site sampling (each site class's first
+# occurrence always included), and both single and crash-during-recovery
+# schedules. Any failure prints a one-line `ffccd-crashtest -repro` command
+# that replays it bit-identically.
+crashmatrix: build
+	$(GO) run ./cmd/ffccd-crashtest -sites -seed 1 -max-sites 12 \
+		-nested -max-nested 4 -timeout 2m
+
 # check is the full CI target: gofmt + vet + race-detector short tests +
-# full tests.
-check: fmt vet race test
+# full tests + the reduced crash-schedule matrix.
+check: fmt vet race test crashmatrix
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:

@@ -1,10 +1,25 @@
-// ffccd-crashtest runs the §7.1 crash-consistency validation campaign:
-// fault injection at arbitrary points of the concurrent compacting phase
-// across the paper's 26 settings, with the two-step post-crash checker.
+// ffccd-crashtest runs the §7.1 crash-consistency validation: fault
+// injection during the concurrent compacting phase across the paper's 26
+// settings, with the two-step post-crash checker.
+//
+// Randomized campaign (the original driver — concurrent churn, crash after
+// a random number of compaction steps):
 //
 //	ffccd-crashtest -trials 1000            # the paper's full campaign
 //	ffccd-crashtest -trials 20 -setting LL/1T/ffccd
-//	ffccd-crashtest -trials 1 -setting LL/1T/ffccd -flightrec 32
+//
+// Scheduled campaign (-sites): enumerate every persistence-relevant crash
+// site of a deterministic trial, crash at each (sampled down to -max-sites),
+// and with -nested also crash a second time inside the recovery that
+// follows. Every failure prints a one-line repro command that replays the
+// trial bit-identically; -shrink minimizes it first:
+//
+//	ffccd-crashtest -sites -nested -shrink
+//	ffccd-crashtest -sites -setting BzTree/4T/ffccd -max-sites 64
+//
+// Replay one schedule (the line a failing campaign printed):
+//
+//	ffccd-crashtest -repro '{"setting":"LL/1T/ffccd","seed":1,...}'
 //
 // -flightrec N arms a per-trial flight recorder: the newest N trace events
 // per simulated thread are kept in a ring and dumped at the injected crash,
@@ -23,33 +38,71 @@ import (
 )
 
 func main() {
-	trials := flag.Int("trials", 100, "fault-injection trials per setting (paper: 1000)")
+	trials := flag.Int("trials", 100, "randomized fault-injection trials per setting (paper: 1000)")
 	setting := flag.String("setting", "", "run only this setting (e.g. LL/1T/ffccd)")
-	seed := flag.Int64("seed", 1, "base random seed")
+	seed := flag.Int64("seed", 1, "base churn seed")
+	sites := flag.Bool("sites", false, "run the scheduled campaign: crash at enumerated crash sites instead of random step counts")
+	maxSites := flag.Int("max-sites", 128, "scheduled sites per setting (0 = exhaustive; class-first sites always kept)")
+	nested := flag.Bool("nested", false, "add crash-during-recovery schedules (scheduled campaign)")
+	maxNested := flag.Int("max-nested", 0, "nested schedules per setting (0 = one per first-level site)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-trial watchdog; expiry reports the trial as hung (0 = off)")
+	shrink := flag.Bool("shrink", false, "minimize each failing schedule before reporting it")
+	parallel := flag.Int("parallel", 0, "worker count for trials (0 = GOMAXPROCS / FFCCD_PARALLEL)")
+	repro := flag.String("repro", "", "replay one scheduled trial from its repro line and exit")
 	flightrec := flag.Int("flightrec", 0, "dump a flight-recorder ring of the newest N events per simulated thread at each injected crash (0 = off)")
 	flag.Parse()
 
+	if *parallel > 0 {
+		faultinject.SetParallelism(*parallel)
+	}
+	var topts faultinject.TrialOptions
 	if *flightrec > 0 {
-		faultinject.SetObsFactory(func(s faultinject.Setting, trialSeed int64) *obsv.Obs {
-			o := obsv.New(*flightrec)
+		n := *flightrec
+		topts.Obs = func(s faultinject.Setting, trialSeed int64) *obsv.Obs {
+			o := obsv.New(n)
 			o.OnCrash = func(o *obsv.Obs) {
 				fmt.Printf("-- flight recorder at injected crash: %s seed %d --\n", s, trialSeed)
 				obsv.WriteFlightRecorder(os.Stdout, o)
 			}
 			return o
-		})
+		}
+	}
+
+	if *repro != "" {
+		os.Exit(runRepro(*repro, topts))
 	}
 
 	settings := faultinject.AllSettings()
+	if *setting != "" {
+		s, err := faultinject.ParseSetting(*setting)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		settings = []faultinject.Setting{s}
+	}
+	if *sites {
+		os.Exit(runScheduled(settings, faultinject.CampaignOptions{
+			Seed:      *seed,
+			MaxSites:  *maxSites,
+			Nested:    *nested,
+			MaxNested: *maxNested,
+			Timeout:   *timeout,
+			Shrink:    *shrink,
+			Trial:     topts,
+		}))
+	}
+	os.Exit(runRandomized(settings, *trials, *seed, topts))
+}
+
+// runRandomized is the original random-step campaign.
+func runRandomized(settings []faultinject.Setting, trials int, seed int64, topts faultinject.TrialOptions) int {
 	failures := 0
 	total := 0
 	start := time.Now()
 	for _, s := range settings {
-		if *setting != "" && s.String() != *setting {
-			continue
-		}
 		t0 := time.Now()
-		out := faultinject.RunSetting(s, *trials, *seed)
+		out := faultinject.RunSettingWith(s, trials, seed, topts)
 		total += out.Trials
 		status := "PASS"
 		if out.Passed != out.Trials {
@@ -67,6 +120,64 @@ func main() {
 	}
 	fmt.Printf("\ncampaign: %d trials, %d failures, %.1fs\n", total, failures, time.Since(start).Seconds())
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// runScheduled is the crash-site exploration campaign.
+func runScheduled(settings []faultinject.Setting, co faultinject.CampaignOptions) int {
+	failures := 0
+	start := time.Now()
+	for _, s := range settings {
+		t0 := time.Now()
+		out := faultinject.ExploreSetting(s, co)
+		status := "PASS"
+		switch {
+		case out.Skipped:
+			status = "SKIP (not fragmented)"
+		case len(out.Failures) > 0:
+			status = "FAIL"
+			failures += len(out.Failures)
+		}
+		fmt.Printf("%-22s %s  %d/%d schedules, %d sites  (%.1fs)\n",
+			s, status, out.Passed, out.Scheduled, out.SitesTotal, time.Since(t0).Seconds())
+		for i, f := range out.Failures {
+			if i >= 3 {
+				fmt.Printf("    ... %d more failures\n", len(out.Failures)-3)
+				break
+			}
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	fmt.Printf("\nscheduled campaign: %d failures, %.1fs\n", failures, time.Since(start).Seconds())
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runRepro replays one schedule and reports the verdict.
+func runRepro(line string, topts faultinject.TrialOptions) int {
+	rep, err := faultinject.ParseRepro(line)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	res, err := faultinject.RunScheduled(rep, topts)
+	fmt.Printf("schedule: %s\n", rep.MarshalLine())
+	fmt.Printf("began=%v sites=%d", res.Began, res.Census.Total)
+	if res.Crash != nil {
+		fmt.Printf(" crash=%q recovery_sites=%d", res.Crash.Error(), res.RecoveryCensus.Total)
+	}
+	if res.NestedCrash != nil {
+		fmt.Printf(" nested_crash=%q", res.NestedCrash.Error())
+	}
+	fmt.Printf(" post_crash_hash=%#x final_hash=%#x\n", res.PostCrashHash, res.FinalHash)
+	if err != nil {
+		fmt.Printf("FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Println("PASS")
+	return 0
 }

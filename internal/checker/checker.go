@@ -129,5 +129,83 @@ func CheckGraph(ctx *sim.Ctx, p *pmop.Pool) (GraphStats, error) {
 	if live := heap.LiveBytes(); live < st.Bytes {
 		return st, fmt.Errorf("checker: allocator live bytes %d < reachable bytes %d", live, st.Bytes)
 	}
+
+	// Idle phase means no epoch is in flight, so no frame may still be a
+	// relocation source or destination: finish/recovery demote destinations
+	// to active and release relocation frames before leaving the phase.
+	// (FrameMeshed is a steady state and legitimate outside epochs.)
+	for f := 0; f < heap.Frames(); f++ {
+		switch heap.State(f) {
+		case alloc.FrameRelocation:
+			return st, fmt.Errorf("checker: idle phase but frame %d still in relocation state", f)
+		case alloc.FrameDestination:
+			return st, fmt.Errorf("checker: idle phase but frame %d still in destination state", f)
+		}
+	}
+
+	if err := checkMovedBits(ctx, p); err != nil {
+		return st, err
+	}
 	return st, nil
+}
+
+// GC metadata layout inside the pool's reserved GC region, mirrored from
+// internal/core (core cannot be imported here: its in-package tests use this
+// checker). MetaLayoutFor keeps the two in lockstep — checker tests assert
+// it equals core.Meta byte for byte.
+const (
+	movedBytesPerFrame = alloc.SlotsPerFrame / 8
+	pmftEntrySize      = 8 + alloc.SlotsPerFrame
+	minorInvalid       = 0xFF
+)
+
+// MetaLayout locates the persistent GC metadata arrays of a pool.
+type MetaLayout struct {
+	ReachedOff, MovedOff, PMFTOff uint64
+}
+
+// MetaLayoutFor computes the metadata array offsets for p.
+func MetaLayoutFor(p *pmop.Pool) MetaLayout {
+	base, _ := p.GCMetaRange()
+	_, frames := p.HeapRange()
+	return MetaLayout{
+		ReachedOff: base,
+		MovedOff:   base + frames*8,
+		PMFTOff:    base + frames*8 + frames*movedBytesPerFrame,
+	}
+}
+
+// checkMovedBits cross-checks the persistent moved bitmap against the PMFT:
+// the summary phase zeroes a frame's moved bytes when it persists the
+// frame's PMFT entry, and compaction only sets a moved bit at an object
+// start the PMFT maps. So for every frame whose PMFT entry belongs to the
+// latest epoch (entry epoch == phase-word epoch), set moved bits must be a
+// subset of the PMFT-mapped slots; a violation is a stale bit that would
+// corrupt the next epoch's relocation decisions. Frames with older PMFT
+// epochs carry unjudgeable residue and are skipped, as is a pool that never
+// ran an epoch (phase epoch 0: the zero-filled PMFT is not a valid map).
+func checkMovedBits(ctx *sim.Ctx, p *pmop.Pool) error {
+	epoch := p.GCPhase(ctx) >> 16 // phase word: [0,8) state, [8,16) scheme, [16,48) epoch
+	if epoch == 0 {
+		return nil
+	}
+	ml := MetaLayoutFor(p)
+	heap := p.Heap()
+	for f := 0; f < heap.Frames(); f++ {
+		entry := ml.PMFTOff + uint64(f)*pmftEntrySize
+		if p.RawLoadU64(ctx, entry)&0xFFFFFFFF != epoch {
+			continue
+		}
+		var moved [movedBytesPerFrame]byte
+		p.RawLoad(ctx, ml.MovedOff+uint64(f)*movedBytesPerFrame, moved[:])
+		var minor [alloc.SlotsPerFrame]byte
+		p.RawLoad(ctx, entry+8, minor[:])
+		for slot := 0; slot < alloc.SlotsPerFrame; slot++ {
+			if moved[slot/8]&(1<<(slot%8)) != 0 && minor[slot] == minorInvalid {
+				return fmt.Errorf("checker: frame %d slot %d has a stale moved bit (epoch %d PMFT does not map it)",
+					f, slot, epoch)
+			}
+		}
+	}
+	return nil
 }

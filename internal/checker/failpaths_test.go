@@ -1,0 +1,130 @@
+package checker_test
+
+// Failure-path tests for CheckGraph: each test plants one specific
+// corruption a crash-consistency bug would leave behind — a dangling
+// forwarded pointer, a stale moved bit, GC metadata disagreeing with the
+// heap — and asserts the checker reports it with a descriptive error.
+
+import (
+	"strings"
+	"testing"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/checker"
+	"ffccd/internal/core"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+)
+
+// defragged builds a list, fragments it, and runs one full compaction
+// cycle so the pool carries real epoch metadata (phase epoch >= 1).
+func defragged(t *testing.T) (*pmop.Pool, *sim.Ctx) {
+	t.Helper()
+	p, ctx, l := setup(t)
+	for i := uint64(0); i < 1500; i++ {
+		l.Insert(ctx, i, []byte{byte(i), byte(i >> 8), 0x3C})
+	}
+	for i := uint64(0); i < 1500; i += 2 {
+		l.Delete(ctx, i)
+	}
+	opt := core.DefaultOptions()
+	opt.TriggerRatio, opt.TargetRatio = 1.05, 1.02
+	eng := core.NewEngine(p, opt)
+	defer eng.Close()
+	if !eng.RunCycle(ctx) {
+		t.Skip("heap too dense to open an epoch")
+	}
+	if _, err := checker.CheckGraph(ctx, p); err != nil {
+		t.Fatalf("clean post-defrag graph rejected: %v", err)
+	}
+	return p, ctx
+}
+
+// TestMetaLayoutLockstep pins checker's mirrored metadata arithmetic to
+// core's authoritative layout (checker cannot import core from non-test
+// code, so the constants are duplicated and this test keeps them honest).
+func TestMetaLayoutLockstep(t *testing.T) {
+	p, _, _ := setup(t)
+	got := checker.MetaLayoutFor(p)
+	want := core.Meta(p)
+	if got.ReachedOff != want.ReachedOff || got.MovedOff != want.MovedOff || got.PMFTOff != want.PMFTOff {
+		t.Fatalf("layout drift: checker %+v vs core %+v", got, want)
+	}
+	if want.MovedBytesPerFrame != alloc.SlotsPerFrame/8 || want.PMFTEntrySize != 8+alloc.SlotsPerFrame {
+		t.Fatalf("core strides changed: %+v — update checker's mirror", want)
+	}
+}
+
+// TestDetectsDanglingForwardedPointer simulates a missed reference fixup:
+// after a completed epoch, a reachable pointer still aims into a released
+// relocation frame (the address its referent was forwarded away from).
+func TestDetectsDanglingForwardedPointer(t *testing.T) {
+	p, ctx := defragged(t)
+	heap := p.Heap()
+	free := -1
+	for f := 0; f < heap.Frames(); f++ {
+		if heap.State(f) == alloc.FrameFree {
+			free = f
+			break
+		}
+	}
+	if free < 0 {
+		t.Skip("no released frame to dangle into")
+	}
+	head := p.Root(ctx)
+	node := p.ReadPtr(ctx, head, 0)
+	stale := pmop.MakePtr(p.ID(), heap.OffsetOf(free, 0)+pmop.HeaderSize)
+	p.RawStoreU64(ctx, node.Offset()+16, uint64(stale))
+	_, err := checker.CheckGraph(ctx, p)
+	if err == nil || !strings.Contains(err.Error(), "free frame") && !strings.Contains(err.Error(), "allocation start") {
+		t.Fatalf("dangling forwarded pointer undetected: %v", err)
+	}
+}
+
+// TestDetectsStaleMovedBit plants a moved bit for a slot the current
+// epoch's PMFT does not map — the residue a lost moved-bitmap reset (or a
+// moved-bit write landing on the wrong frame) would leave.
+func TestDetectsStaleMovedBit(t *testing.T) {
+	p, ctx := defragged(t)
+	_, _, epoch := core.UnpackPhaseWord(p.GCPhase(ctx))
+	if epoch == 0 {
+		t.Fatal("defragged pool has phase epoch 0")
+	}
+	mv := core.Meta(p)
+	const frame, slot = 0, 9
+	entry := mv.PMFTOff + uint64(frame)*mv.PMFTEntrySize
+	// Claim the frame for the current epoch with an explicitly unmapped slot.
+	p.RawStoreU64(ctx, entry, epoch) // epoch u32 + destFrame u32 (0)
+	p.RawStore(ctx, entry+8+uint64(slot), []byte{mv.MinorInvalid})
+	off := mv.MovedOff + uint64(frame)*mv.MovedBytesPerFrame + uint64(slot/8)
+	p.RawStore(ctx, off, []byte{1 << (slot % 8)})
+	_, err := checker.CheckGraph(ctx, p)
+	if err == nil || !strings.Contains(err.Error(), "stale moved bit") {
+		t.Fatalf("stale moved bit undetected: %v", err)
+	}
+}
+
+// TestDetectsPhaseFrameDisagreement covers the summary-vs-heap metadata
+// check: an idle phase word while a frame still claims to be part of an
+// epoch (relocation source or destination) is a half-finished terminate.
+func TestDetectsPhaseFrameDisagreement(t *testing.T) {
+	for _, st := range []alloc.FrameState{alloc.FrameRelocation, alloc.FrameDestination} {
+		p, ctx := defragged(t)
+		heap := p.Heap()
+		victim := -1
+		for f := 0; f < heap.Frames(); f++ {
+			if heap.State(f) == alloc.FrameActive {
+				victim = f
+				break
+			}
+		}
+		if victim < 0 {
+			t.Fatal("no active frame")
+		}
+		heap.SetState(victim, st)
+		_, err := checker.CheckGraph(ctx, p)
+		if err == nil || !strings.Contains(err.Error(), "idle phase but frame") {
+			t.Fatalf("state %d disagreement undetected: %v", st, err)
+		}
+	}
+}

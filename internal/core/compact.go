@@ -136,6 +136,10 @@ func (e *Engine) storeMovedBit(ctx *sim.Ctx, obj *relocObj, flush, fence bool) {
 	b[0] |= mask
 	p.RawStore(ctx, off, b[:])
 	l.Unlock()
+	// Crash site: moved bit set but not yet (necessarily) flushed — the
+	// window between moved-state and pointer fixup. After Unlock so a
+	// scheduled crash never strands the package-level byte lock.
+	p.Device().Site(ctx, pmem.SiteMovedBit)
 	if flush || fence {
 		p.Clwb(ctx, off)
 	}
@@ -219,6 +223,7 @@ func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
 	// reachability again to finish all pending relocation and reference
 	// updates, and release relocation pages").
 	heap := p.Heap()
+	p.Device().Site(gctx, pmem.SiteBarrierFixup)
 	e.mark(gctx, func(_ *sim.Ctx, _ uint64, ref pmop.Ptr) pmop.Ptr {
 		if ref.PoolID() != p.ID() || ref.Offset() < heap.HeapOff() {
 			return ref
@@ -228,6 +233,7 @@ func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
 		}
 		return ref
 	})
+	p.Device().Site(gctx, pmem.SiteBarrierFixup)
 	if o != nil {
 		o.Tracer.Span(ctx, obsv.KindBarrierFix, tFix, uint64(len(ep.objects)))
 	}
@@ -251,7 +257,9 @@ func (e *Engine) finishEpochLocked(ctx *sim.Ctx, ep *epochState) {
 
 	// Durably leave the compacting phase; the PMFT entries become stale by
 	// epoch number.
+	p.Device().Site(gctx, pmem.SiteEpochTransition)
 	p.SetGCPhase(gctx, packPhase(phaseIdle, ep.scheme, ep.epochNo))
+	p.Device().Site(gctx, pmem.SiteEpochTransition)
 
 	// Release relocation frames and open destination frames for allocation.
 	for _, f := range ep.relocFrames {

@@ -67,6 +67,35 @@ func unpackPhase(w uint64) (state uint64, scheme Scheme, epoch uint64) {
 	return w & 0xFF, Scheme(w >> 8 & 0xFF), w >> 16
 }
 
+// MetaView exposes the persistent GC metadata layout to external validators
+// (internal/checker) without duplicating the offset arithmetic here.
+type MetaView struct {
+	// ReachedOff, MovedOff, PMFTOff are pool offsets of the three arrays.
+	ReachedOff, MovedOff, PMFTOff uint64
+	// MovedBytesPerFrame and PMFTEntrySize are the per-frame strides.
+	MovedBytesPerFrame, PMFTEntrySize uint64
+	// MinorInvalid is the minor-distance byte meaning "slot not mapped".
+	MinorInvalid byte
+}
+
+// Meta returns the metadata layout view for p.
+func Meta(p *pmop.Pool) MetaView {
+	r, m, pf := metaLayout(p)
+	return MetaView{
+		ReachedOff: r, MovedOff: m, PMFTOff: pf,
+		MovedBytesPerFrame: movedBytesPerFrame,
+		PMFTEntrySize:      pmftEntrySize,
+		MinorInvalid:       minorInvalid,
+	}
+}
+
+// UnpackPhaseWord decodes a pool gcPhase word into (compacting?, scheme,
+// epoch) for external validators.
+func UnpackPhaseWord(w uint64) (compacting bool, scheme Scheme, epoch uint64) {
+	st, sc, ep := unpackPhase(w)
+	return st == phaseCompacting, sc, ep
+}
+
 // sfccdTombstone is the sentinel written into a moved object's *source*
 // header (reserved word at +8) when the application first modifies the
 // destination copy under SFCCD. It lets Fig. 7(b)'s content comparison

@@ -48,13 +48,16 @@ func Recover(ctx *sim.Ctx, p *pmop.Pool, opt Options) (*Engine, error) {
 
 func (e *Engine) recover(ctx *sim.Ctx) error {
 	p := e.pool
+	dev := p.Device()
 	state, persistedScheme, epochNo := unpackPhase(p.GCPhase(ctx))
 
 	if state != phaseCompacting {
 		// Idle: application recovery + allocator rebuild only.
 		p.RecoverTx(ctx)
+		dev.Site(ctx, pmem.SiteRecoveryStep)
 		live := e.mark(ctx, nil)
 		p.Heap().RebuildFromMark(rebuildEntries(live))
+		dev.Site(ctx, pmem.SiteRecoveryStep)
 		return nil
 	}
 
@@ -66,6 +69,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	if err != nil {
 		return err
 	}
+	dev.Site(ctx, pmem.SiteRecoveryStep)
 	// For the epoch span emitted at terminate: the resumed epoch's observable
 	// window starts where recovery picked it up.
 	ep.obsStart = ctx.Clock.Total()
@@ -87,16 +91,19 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	default:
 		return fmt.Errorf("core: cannot recover unknown scheme %d", ep.scheme)
 	}
+	dev.Site(ctx, pmem.SiteRecoveryStep)
 
 	// (2) Application transaction rollback (undo is pure offsets: safe
 	// before reference fixup, and it may resurrect stale references that
 	// step 3 then normalises).
 	p.RecoverTx(ctx)
+	dev.Site(ctx, pmem.SiteRecoveryStep)
 
 	// (3) Unified reference fixup + reachability:
 	//   - reference to the source of a moved object   → forward to dest
 	//   - reference to the dest of an unmoved object  → undo to source
 	heap := p.Heap()
+	dev.Site(ctx, pmem.SiteBarrierFixup)
 	live := e.mark(ctx, func(_ *sim.Ctx, _ uint64, ref pmop.Ptr) pmop.Ptr {
 		if ref.PoolID() != p.ID() || ref.Offset() < heap.HeapOff() {
 			return ref
@@ -111,8 +118,11 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 		return ref
 	})
 
+	dev.Site(ctx, pmem.SiteBarrierFixup)
+
 	// Recovery itself is conservative (§4.1): make everything durable.
-	p.Device().FlushAll(ctx)
+	dev.FlushAll(ctx)
+	dev.Site(ctx, pmem.SiteRecoveryStep)
 
 	// (4) Allocator rebuild + epoch reservations.
 	heap.RebuildFromMark(rebuildEntries(live))
@@ -134,6 +144,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 		}
 	}
 	heap.AddDup(ep.dupBytes)
+	dev.Site(ctx, pmem.SiteRecoveryStep)
 
 	// (5) Resume and complete the epoch.
 	if e.rbb != nil && ep.scheme.UsesRelocateInstruction() {
@@ -145,7 +156,9 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	e.epoch = ep
 	e.mu.Unlock()
 	p.SetBarrier(&readBarrier{e: e, ep: ep})
+	dev.Site(ctx, pmem.SiteRecoveryStep)
 	e.compact(ctx, ep)
+	dev.Site(ctx, pmem.SiteRecoveryStep)
 	e.finishEpoch(ctx, ep)
 	e.cycles.Add(1)
 	return nil
@@ -301,8 +314,14 @@ func (e *Engine) recoverFFCCD(ctx *sim.Ctx, ep *epochState) {
 			}
 			continue
 		}
-		// Finish the whole component: copy every member's bytes on lines
-		// that did not reach, persist, and mark moved.
+		// Finish the whole component, line-atomically: first make every
+		// member's bytes on unreached lines durable, and only then publish
+		// the reached bits. A reached bit covers a whole destination line,
+		// and members of one component share lines — publishing a line's
+		// bit before every sharer's bytes are durable would let a crash
+		// *during this repair* strand a neighbour's half-line as zeros
+		// (the next recovery trusts reached lines verbatim and would not
+		// re-copy them).
 		for _, ci := range comp {
 			obj := &ep.objects[ci]
 			df, first, last := lineRange(obj)
@@ -326,6 +345,10 @@ func (e *Engine) recoverFFCCD(ctx *sim.Ctx, ep *epochState) {
 				e.copyObject(ctx, ss, ds, de-ds)
 			}
 			p.PersistRange(ctx, obj.dstHdr, obj.bytes())
+		}
+		for _, ci := range comp {
+			obj := &ep.objects[ci]
+			df, first, last := lineRange(obj)
 			newWord := p.RawLoadU64(ctx, reachedOff+uint64(df)*8)
 			for l := first; l <= last; l++ {
 				newWord |= 1 << l
@@ -378,6 +401,7 @@ func (e *Engine) clearMovedBit(ctx *sim.Ctx, obj *relocObj) {
 	p.RawLoad(ctx, off, b[:])
 	b[0] &^= mask
 	p.RawStore(ctx, off, b[:])
+	p.Device().Site(ctx, pmem.SiteMovedBit)
 	p.Clwb(ctx, off)
 	p.Sfence(ctx)
 }

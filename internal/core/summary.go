@@ -6,6 +6,7 @@ import (
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/arch"
+	"ffccd/internal/pmem"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
 )
@@ -301,6 +302,8 @@ unitLoop:
 
 	// Durably enter the compacting phase. Everything above is idempotent;
 	// a crash before this store leaves the pool in the idle state.
+	p.Device().Site(ctx, pmem.SiteEpochTransition)
 	p.SetGCPhase(ctx, packPhase(phaseCompacting, e.opt.Scheme, ep.epochNo))
+	p.Device().Site(ctx, pmem.SiteEpochTransition)
 	return ep
 }

@@ -1,0 +1,265 @@
+package faultinject
+
+// Campaigns over deterministic crash schedules. For each setting the driver
+// first runs a census pass (counting crash sites), then sweeps the site
+// space — exhaustively when it fits the budget, by stratified sampling
+// (every site class's first occurrence plus an even spread) when it does
+// not — firing one scheduled crash per selected site with a rotating
+// in-flight-line policy. With Nested enabled, sites whose recovery exposes
+// its own crash sites get crash-during-recovery schedules too. Trials run on
+// a shared worker pool (Parallelism()); a per-trial watchdog converts hangs
+// into reported failures instead of stalled CI. Every failure carries the
+// one-line Repro command that replays it bit-identically.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ffccd/internal/pmem"
+)
+
+// CampaignOptions tunes a scheduled-crash campaign. The zero value is an
+// exhaustive single-crash sweep with default churn and no watchdog.
+type CampaignOptions struct {
+	// Seed is the base churn seed (schedules inherit it verbatim).
+	Seed int64
+	// Ops/TailOps override the per-thread churn volumes (0 = defaults).
+	Ops, TailOps int
+	// MaxSites bounds the scheduled sites per setting; 0 sweeps
+	// exhaustively. Every site class's first occurrence is always kept, so
+	// the real floor is the number of populated classes.
+	MaxSites int
+	// Nested adds crash-during-recovery schedules.
+	Nested bool
+	// MaxNested caps the nested schedules per setting (0 = same as the
+	// number of first-level sites selected).
+	MaxNested int
+	// Timeout is the per-trial watchdog; expiry is reported as a failure
+	// (the trial goroutine is abandoned). 0 disables.
+	Timeout time.Duration
+	// Shrink minimizes each failure's Repro before reporting (ShrinkBudget
+	// extra trials per failure).
+	Shrink bool
+	// Trial carries the per-trial hooks (observability, corruption planting).
+	Trial TrialOptions
+}
+
+// Failure is one failing schedule with its replay artifact.
+type Failure struct {
+	Repro Repro
+	Err   string
+	// Hung marks a watchdog expiry (the trial never returned).
+	Hung bool
+	// Shrunk is the minimized schedule (set when CampaignOptions.Shrink).
+	Shrunk *Repro
+}
+
+func (f Failure) String() string {
+	kind := "failed"
+	if f.Hung {
+		kind = "hung"
+	}
+	s := fmt.Sprintf("%s: %s\n  repro: %s", kind, f.Err, f.Repro.Command())
+	if f.Shrunk != nil {
+		s += fmt.Sprintf("\n  shrunk: %s", f.Shrunk.Command())
+	}
+	return s
+}
+
+// CampaignOutcome summarises one setting's campaign.
+type CampaignOutcome struct {
+	Setting Setting
+	// SitesTotal is the census site count; Scheduled the trials actually
+	// run (first-level + nested, census excluded).
+	SitesTotal uint64
+	Scheduled  int
+	Passed     int
+	// Skipped is set when the census pass opened no epoch (store not
+	// fragmented enough) — the setting is vacuously consistent.
+	Skipped  bool
+	Failures []Failure
+}
+
+// runWatched executes one schedule under the watchdog. On expiry the trial
+// goroutine is abandoned (it holds only trial-local simulated state) and the
+// expiry is the verdict.
+func runWatched(rep Repro, topts TrialOptions, timeout time.Duration) (ScheduleResult, error, bool) {
+	if timeout <= 0 {
+		res, err := RunScheduled(rep, topts)
+		return res, err, false
+	}
+	type outcome struct {
+		res ScheduleResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := RunScheduled(rep, topts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err, false
+	case <-time.After(timeout):
+		return ScheduleResult{}, fmt.Errorf("watchdog: trial exceeded %s", timeout), true
+	}
+}
+
+// selectSites picks the schedule sites for a census: every site when the
+// budget allows, otherwise each class's first occurrence plus an even spread
+// across the index space — the stratification that keeps rare classes
+// (epoch transitions happen twice per trial, WPQ drains thousands of times)
+// in every campaign.
+func selectSites(c pmem.SiteCensus, maxSites int) []int64 {
+	total := int64(c.Total)
+	if total == 0 {
+		return nil
+	}
+	if maxSites <= 0 || total <= int64(maxSites) {
+		out := make([]int64, total)
+		for i := range out {
+			out[i] = int64(i)
+		}
+		return out
+	}
+	seen := make(map[int64]bool)
+	var out []int64
+	add := func(s int64) {
+		if s >= 0 && s < total && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, fi := range c.FirstIndex {
+		add(fi)
+	}
+	for k := 0; len(out) < maxSites && k < maxSites; k++ {
+		add(int64(k) * total / int64(maxSites))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ExploreSetting runs the scheduled-crash campaign for one setting.
+func ExploreSetting(setting Setting, co CampaignOptions) CampaignOutcome {
+	out := CampaignOutcome{Setting: setting}
+	base := NewRepro(setting, co.Seed)
+	if co.Ops > 0 {
+		base.Ops = co.Ops
+	}
+	if co.TailOps > 0 {
+		base.TailOps = co.TailOps
+	}
+
+	// Census pass: count the sites (and verify the no-crash run).
+	census, err, hung := runWatched(base, co.Trial, co.Timeout)
+	if err != nil {
+		out.Failures = append(out.Failures, Failure{Repro: base, Err: err.Error(), Hung: hung})
+		return out
+	}
+	if !census.Began {
+		out.Skipped = true
+		return out
+	}
+	out.SitesTotal = census.Census.Total
+
+	// First-level schedules: one crash per selected site, policy rotating
+	// per site, salt derived from the site index.
+	sites := selectSites(census.Census, co.MaxSites)
+	reps := make([]Repro, len(sites))
+	for i, site := range sites {
+		r := base
+		r.Site = site
+		r.Policy = Policies[i%len(Policies)]
+		r.Salt = uint64(site)*0x9E3779B97F4A7C15 + uint64(co.Seed)
+		reps[i] = r
+	}
+	type jobOut struct {
+		res  ScheduleResult
+		err  error
+		hung bool
+	}
+	firsts := make([]jobOut, len(reps))
+	parallelFor(len(reps), func(i int) {
+		res, err, hung := runWatched(reps[i], co.Trial, co.Timeout)
+		firsts[i] = jobOut{res, err, hung}
+	})
+
+	// Nested schedules: crash-during-recovery at the first recovery-step
+	// site and the middle of the recovery's site space, for up to MaxNested
+	// crashing first-level sites (evenly spread over the selection).
+	var nreps []Repro
+	if co.Nested {
+		budget := co.MaxNested
+		if budget <= 0 {
+			budget = len(reps)
+		}
+		var crashed []int
+		for i, f := range firsts {
+			if f.err == nil && !f.hung && f.res.Crash != nil && f.res.RecoveryCensus.Total > 0 {
+				crashed = append(crashed, i)
+			}
+		}
+		stride := 1
+		if len(crashed) > budget {
+			stride = (len(crashed) + budget - 1) / budget
+		}
+		for k := 0; k < len(crashed) && len(nreps) < budget; k += stride {
+			i := crashed[k]
+			rc := firsts[i].res.RecoveryCensus
+			nested := map[int64]bool{int64(rc.Total) / 2: true}
+			if fi := rc.FirstIndex[pmem.SiteRecoveryStep]; fi >= 0 {
+				nested[fi] = true
+			}
+			var ns []int64
+			for s := range nested {
+				ns = append(ns, s)
+			}
+			sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+			for _, s := range ns {
+				if len(nreps) >= budget {
+					break
+				}
+				r := reps[i]
+				r.Nested = s
+				nreps = append(nreps, r)
+			}
+		}
+	}
+	nesteds := make([]jobOut, len(nreps))
+	parallelFor(len(nreps), func(i int) {
+		res, err, hung := runWatched(nreps[i], co.Trial, co.Timeout)
+		nesteds[i] = jobOut{res, err, hung}
+	})
+
+	// Aggregate in schedule order (deterministic under any worker count).
+	collect := func(reps []Repro, outs []jobOut) {
+		for i, o := range outs {
+			out.Scheduled++
+			if o.err == nil {
+				out.Passed++
+				continue
+			}
+			f := Failure{Repro: reps[i], Err: o.err.Error(), Hung: o.hung}
+			if co.Shrink {
+				if min, ok := ShrinkRepro(reps[i], co.Trial, co.Timeout, ShrinkBudget); ok {
+					f.Shrunk = &min
+				}
+			}
+			out.Failures = append(out.Failures, f)
+		}
+	}
+	collect(reps, firsts)
+	collect(nreps, nesteds)
+	return out
+}
+
+// RunExploration runs ExploreSetting over each setting in order.
+func RunExploration(settings []Setting, co CampaignOptions) []CampaignOutcome {
+	outs := make([]CampaignOutcome, len(settings))
+	for i, s := range settings {
+		outs[i] = ExploreSetting(s, co)
+	}
+	return outs
+}

@@ -6,12 +6,30 @@
 // metadata and the memory state. The paper's 26 settings (five single-
 // threaded microbenchmarks plus BzTree/FPTree at 1, 2, 4, 8 threads, each
 // under SFCCD and FFCCD) are enumerated by AllSettings.
+//
+// Two trial drivers coexist:
+//
+//   - Trial/TrialWith: the original randomized driver — concurrent churn
+//     goroutines, a crash after rng.Intn(400) compaction steps, a random
+//     in-flight-line policy. Good concurrency coverage, but the crash point
+//     is only as fine as a step count.
+//   - RunScheduled (schedule.go): the deterministic driver — single-threaded
+//     end to end, crash fired at an exact crash-site index (see
+//     pmem.SiteClass), optionally a second crash inside recovery. Every
+//     failing schedule replays bit-identically from its Repro line.
+//
+// Campaigns over scheduled trials (campaign.go) sweep or sample the site
+// space and shrink failures (shrink.go) into minimal repro artifacts.
 package faultinject
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ffccd/internal/checker"
 	"ffccd/internal/core"
@@ -22,15 +40,83 @@ import (
 	"ffccd/internal/sim"
 )
 
-// obsFactory, when set, supplies a fresh observability bundle per trial.
-// The injected crash fires the bundle's OnCrash hook (flight-recorder dump)
-// at the fault, before recovery runs. Tracing reads simulated clocks but
-// never charges them, so trial outcomes are unaffected.
-var obsFactory func(setting Setting, seed int64) *obsv.Obs
+// TrialOptions carries per-campaign hooks. The zero value is a plain trial.
+// Options travel by value with each campaign, so concurrent campaigns with
+// different settings never race (this replaced a package-level factory
+// variable).
+type TrialOptions struct {
+	// Obs, when non-nil, supplies a fresh observability bundle per trial.
+	// An injected crash fires the bundle's OnCrash hook (flight-recorder
+	// dump) at the fault, before recovery runs. Tracing reads simulated
+	// clocks but never charges them, so trial outcomes are unaffected.
+	Obs func(setting Setting, seed int64) *obsv.Obs
 
-// SetObsFactory installs (or with nil removes) the per-trial observability
-// factory. Not safe to change while trials run.
-func SetObsFactory(f func(Setting, int64) *obsv.Obs) { obsFactory = f }
+	// AfterRecovery, when non-nil, runs after recovery completes and before
+	// the checker. Tests use it to plant synthetic corruption (proving the
+	// campaign's failure→repro→replay loop end to end) or to stall (proving
+	// the watchdog).
+	AfterRecovery func(ctx *sim.Ctx, p *pmop.Pool)
+}
+
+// parallelism is the worker count used by RunSetting and campaign drivers.
+// Every trial builds its own simulated machine, so trials are hermetic;
+// parallelism changes host wall-clock only, never a trial verdict. Defaults
+// to GOMAXPROCS, overridable with FFCCD_PARALLEL or SetParallelism
+// (mirroring the experiments driver).
+var parallelism atomic.Int64
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("FFCCD_PARALLEL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	parallelism.Store(int64(n))
+}
+
+// SetParallelism sets the campaign worker count (values < 1 mean serial).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the current campaign worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// parallelFor runs f(0..n-1) across min(Parallelism(), n) workers. Results
+// must be written into index-addressed slots by f, so output order is
+// deterministic regardless of worker count.
+func parallelFor(n int, f func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Setting is one validation configuration.
 type Setting struct {
@@ -41,6 +127,54 @@ type Setting struct {
 
 func (s Setting) String() string {
 	return fmt.Sprintf("%s/%dT/%s", s.Store, s.Threads, s.Scheme)
+}
+
+// ParseSetting parses the String form ("BzTree/4T/ffccd") back into a
+// Setting — the format repro artifacts carry.
+func ParseSetting(str string) (Setting, error) {
+	var s Setting
+	parts := [3]string{}
+	n := 0
+	start := 0
+	for i := 0; i <= len(str); i++ {
+		if i == len(str) || str[i] == '/' {
+			if n >= 3 {
+				return s, fmt.Errorf("faultinject: bad setting %q", str)
+			}
+			parts[n] = str[start:i]
+			n++
+			start = i + 1
+		}
+	}
+	if n != 3 {
+		return s, fmt.Errorf("faultinject: bad setting %q", str)
+	}
+	s.Store = parts[0]
+	known := false
+	for _, st := range append(append([]string{}, MicroStores...), ConcurrentStores...) {
+		if st == s.Store {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return s, fmt.Errorf("faultinject: unknown store %q in %q", s.Store, str)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%dT", &s.Threads); err != nil || s.Threads < 1 {
+		return s, fmt.Errorf("faultinject: bad thread count in %q", str)
+	}
+	schemeName := parts[2]
+	for _, sc := range []core.Scheme{core.SchemeNone, core.SchemeEspresso,
+		core.SchemeSFCCD, core.SchemeFFCCD, core.SchemeFFCCDCheckLookup} {
+		if sc.String() == schemeName {
+			s.Scheme = sc
+			if s.String() != str {
+				return s, fmt.Errorf("faultinject: bad setting %q", str)
+			}
+			return s, nil
+		}
+	}
+	return s, fmt.Errorf("faultinject: unknown scheme %q in %q", schemeName, str)
 }
 
 // MicroStores are the five single-threaded microbenchmarks.
@@ -94,9 +228,14 @@ func keyCapFor(name string) uint64 {
 	return 1 << 30
 }
 
-// Trial runs one fault-injection trial and returns an error describing the
-// first consistency violation, or nil.
+// Trial runs one randomized fault-injection trial and returns an error
+// describing the first consistency violation, or nil.
 func Trial(setting Setting, seed int64) error {
+	return TrialWith(setting, seed, TrialOptions{})
+}
+
+// TrialWith is Trial with per-campaign options.
+func TrialWith(setting Setting, seed int64, opts TrialOptions) error {
 	cfg := sim.DefaultConfig()
 	cfg.CacheBytes = 256 * 1024
 	rt := pmop.NewRuntime(&cfg, 128<<20)
@@ -174,8 +313,8 @@ func Trial(setting Setting, seed int64) error {
 	p.Device().FlushAll(ctx)
 
 	var obs *obsv.Obs
-	if obsFactory != nil {
-		if obs = obsFactory(setting, seed); obs != nil {
+	if opts.Obs != nil {
+		if obs = opts.Obs(setting, seed); obs != nil {
 			obs.Tracer.Name(ctx, "driver")
 			p.Device().SetObs(obs)
 		}
@@ -229,9 +368,6 @@ func Trial(setting Setting, seed int64) error {
 		})
 	}
 	p.Device().Crash()
-	if e.RBB() != nil {
-		e.RBB().PowerLossFlush()
-	}
 
 	// Restart: attach, open, recover (completes the epoch).
 	rt2, err := pmop.Attach(&cfg, rt.Device())
@@ -249,6 +385,10 @@ func Trial(setting Setting, seed int64) error {
 		return fmt.Errorf("recovery failed: %w", err)
 	}
 	defer e2.Close()
+
+	if opts.AfterRecovery != nil {
+		opts.AfterRecovery(ctx, p2)
+	}
 
 	s2, err := buildStore(ctx, p2, setting.Store)
 	if err != nil {
@@ -280,11 +420,22 @@ type Outcome struct {
 	Failures []string
 }
 
-// RunSetting executes trials fault-injection trials for one setting.
+// RunSetting executes trials fault-injection trials for one setting across
+// Parallelism() workers. The outcome is deterministic regardless of worker
+// count: failures are aggregated in trial order.
 func RunSetting(setting Setting, trials int, seed int64) Outcome {
+	return RunSettingWith(setting, trials, seed, TrialOptions{})
+}
+
+// RunSettingWith is RunSetting with per-campaign options.
+func RunSettingWith(setting Setting, trials int, seed int64, opts TrialOptions) Outcome {
 	out := Outcome{Setting: setting, Trials: trials}
-	for i := 0; i < trials; i++ {
-		if err := Trial(setting, seed+int64(i)*7919); err != nil {
+	errs := make([]error, trials)
+	parallelFor(trials, func(i int) {
+		errs[i] = TrialWith(setting, seed+int64(i)*7919, opts)
+	})
+	for _, err := range errs {
+		if err != nil {
 			out.Failures = append(out.Failures, err.Error())
 		} else {
 			out.Passed++

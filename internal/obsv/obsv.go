@@ -71,13 +71,18 @@ const (
 	// KindRelocate is one relocate-instruction issue (instant; Arg=bytes).
 	// Ring mode only, like KindWPQDrain.
 	KindRelocate
+	// KindSite is one crash-site passage (instant; Arg = siteIndex<<8 |
+	// siteClass). Ring mode only: a flight-recorder dump at an injected
+	// crash then shows the exact site indices leading up to the fault,
+	// which is what a crash-schedule repro needs.
+	KindSite
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"trigger", "mark", "summary", "copy", "barrier-fix", "stw", "epoch",
-	"checklookup", "crash", "recovery", "wpq-drain", "relocate",
+	"checklookup", "crash", "recovery", "wpq-drain", "relocate", "site",
 }
 
 func (k Kind) String() string {

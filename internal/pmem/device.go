@@ -56,6 +56,16 @@ type RBBSink interface {
 // the line address: they are invoked in ascending line order.
 type CrashPolicy func(lineAddr uint64) bool
 
+// PowerLossFlusher is an RBBSink whose volatile state is battery-flushed to
+// media at power failure (the RBB's small residual-energy domain, §4.3).
+// Crash() invokes it after the post-crash media image is final, so harnesses
+// that lose the engine handle mid-recovery (nested crash schedules) still get
+// the architecturally guaranteed RBB flush. The flush must be idempotent:
+// engine-level harnesses may also call it explicitly.
+type PowerLossFlusher interface {
+	PowerLossFlush()
+}
+
 // DropAllInflight is the default CrashPolicy: no unfenced line survives.
 func DropAllInflight(uint64) bool { return false }
 
@@ -149,6 +159,11 @@ type Device struct {
 	obs     *obsv.Obs
 	hWPQ    *obsv.Histogram
 	ringRec bool
+
+	// sites is the armed crash-site recorder (nil when disarmed — the
+	// default; see site.go). Atomic so arming/disarming never touches the
+	// per-access locks.
+	sites atomic.Pointer[SiteRecorder]
 }
 
 // SetObs wires the observability bundle into the device: the wpq_drain_lines
@@ -354,6 +369,29 @@ func (d *Device) writeMediaLine(ctx *sim.Ctx, set *cacheSet, lineIdx uint64, dat
 	}
 }
 
+// HashMedia digests the full persistent image (volatile cache state
+// excluded) into 64 bits — the cheap bit-identity witness crash-schedule
+// replays compare. Word-wise FNV-1a variant with a final avalanche; call
+// only on a quiescent device.
+func (d *Device) HashMedia() uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	b := d.media
+	for len(b) >= 8 {
+		w := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		h = (h ^ w) * prime
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
 // SnapshotMedia returns a copy of the full persistent image (for
 // determinism tests and offline analysis). Call only on a quiescent device.
 func (d *Device) SnapshotMedia() []byte {
@@ -431,6 +469,7 @@ func (d *Device) Crash() {
 			}
 		}()
 	}
+	defer d.powerLossFlushRBB()
 	if d.eADR.Load() {
 		// eADR: the battery flushes every cache level; nothing volatile is
 		// lost. Pending lines reach the persistence domain and notify the
@@ -474,6 +513,18 @@ func (d *Device) Crash() {
 	}
 	for _, lineIdx := range reached {
 		d.notifyReached(nil, lineIdx)
+	}
+}
+
+// powerLossFlushRBB runs the installed sink's battery-backed flush, if it
+// has one. Runs after Crash finalizes the media image so the flush sees the
+// full set of reached-line notifications.
+func (d *Device) powerLossFlushRBB() {
+	d.rbbMu.Lock()
+	sink := d.rbb
+	d.rbbMu.Unlock()
+	if f, ok := sink.(PowerLossFlusher); ok {
+		f.PowerLossFlush()
 	}
 }
 

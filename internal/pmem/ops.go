@@ -245,6 +245,7 @@ var sfencePool = sync.Pool{New: func() any { return new(sfenceScratch) }}
 // notifications are issued in ascending line order so concurrent and
 // sequential runs drain identically.
 func (d *Device) Sfence(ctx *sim.Ctx) {
+	d.Site(ctx, SiteSfence)
 	d.ctxShard(ctx).c[cSfences].Add(1)
 
 	sc := sfencePool.Get().(*sfenceScratch)
@@ -291,6 +292,7 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 	}
 	sc.reached = reached[:0]
 	sfencePool.Put(sc)
+	d.Site(ctx, SiteWPQDrain)
 	if ctx.PendingFlushes > 0 || drained > 0 {
 		// The fence exposes the full PM write latency — the stall FFCCD's
 		// fence-free design eliminates (§3.3.3).

@@ -63,6 +63,7 @@ func (d *Device) Relocate(ctx *sim.Ctx, dst, src, n uint64) {
 // destination line (which the defragmenter relocates as one cluster through
 // this call).
 func (d *Device) RelocateParts(ctx *sim.Ctx, parts []RelocatePart) {
+	d.Site(ctx, SiteRelocate)
 	d.ctxShard(ctx).c[cRelocateOps].Add(1)
 	if d.ringRec {
 		var bytes uint64
@@ -129,6 +130,7 @@ func (d *Device) RelocateParts(ctx *sim.Ctx, parts []RelocatePart) {
 			copy(buf[s.off-lo:], sc.arena[s.start:s.end])
 		}
 		d.storeInternal(ctx, ln.lineIdx<<LineShift+lo, buf, true)
+		d.Site(ctx, SiteRelocateLine)
 	}
 	relocPool.Put(sc)
 }

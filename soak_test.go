@@ -6,14 +6,22 @@ package ffccd_test
 // gets to "run it for a day"; skipped under -short.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"ffccd"
 	"ffccd/internal/checker"
 	"ffccd/internal/pmem"
 	"ffccd/internal/trace"
 )
+
+// soakGenDeadline bounds one generation (churn + crash + recovery + full
+// verification). A generation that blows past it is a hang — a recovery
+// livelock or a lost wakeup in the engine — and the test fails immediately
+// instead of stalling CI until the global test timeout.
+const soakGenDeadline = 2 * time.Minute
 
 func TestSoakLifecycle(t *testing.T) {
 	if testing.Short() {
@@ -52,88 +60,106 @@ func soak(t *testing.T, scheme ffccd.Scheme, generations, opsPerGen int) {
 	var eng *ffccd.Engine
 
 	for gen := 0; gen < generations; gen++ {
-		store, err := ffccd.NewList(ctx, pool)
-		if err != nil {
-			t.Fatalf("gen %d: %v", gen, err)
-		}
-		if eng == nil {
-			eng = ffccd.NewEngine(pool, opt)
-		}
-
-		// Churn with transactional ops; every op keeps the model in sync.
-		for i := 0; i < opsPerGen; i++ {
-			key := rng.Uint64() % 800
-			switch rng.Intn(10) {
-			case 0, 1, 2, 3, 4, 5:
-				v := trace.ValueFor(key^uint64(gen*opsPerGen+i), 16+rng.Intn(140))
-				if err := store.Insert(ctx, key, v); err != nil {
-					t.Fatalf("gen %d op %d: %v", gen, i, err)
+		gen := gen
+		// Run the whole generation under a deadline. The body only touches
+		// trial-local simulated state, so on expiry the goroutine is safely
+		// abandoned and the test fails.
+		done := make(chan error, 1)
+		go func() {
+			done <- func() error {
+				store, err := ffccd.NewList(ctx, pool)
+				if err != nil {
+					return fmt.Errorf("gen %d: %v", gen, err)
 				}
-				model[key] = v
-			case 6, 7:
-				store.Delete(ctx, key)
-				delete(model, key)
-			default:
-				store.Get(ctx, key)
-			}
-			// Occasionally run a synchronous defragmentation cycle.
-			if i%400 == 399 && pool.Heap().Frag(ffccd.Page4K).FragRatio > opt.TriggerRatio {
-				eng.RunCycle(ctx)
-			}
-		}
+				if eng == nil {
+					eng = ffccd.NewEngine(pool, opt)
+				}
 
-		// Sometimes crash mid-epoch, sometimes crash quiescent, sometimes
-		// shut down cleanly.
-		mode := rng.Intn(3)
-		switch mode {
-		case 0: // crash mid-epoch if possible
-			if eng.BeginCycle(ctx) {
-				eng.StepCompaction(ctx, rng.Intn(600))
-			}
-			crashPolicy(dev, rng)
-			dev.Crash()
-			if eng.RBB() != nil {
-				eng.RBB().PowerLossFlush()
-			}
-		case 1: // crash with the engine idle (dirty cache still lost)
-			crashPolicy(dev, rng)
-			dev.Crash()
-			if eng.RBB() != nil {
-				eng.RBB().PowerLossFlush()
-			}
-		default: // clean shutdown
-			eng.Close()
-			dev.FlushAll(ctx)
-		}
-		eng = nil
+				// Churn with transactional ops; every op keeps the model in sync.
+				for i := 0; i < opsPerGen; i++ {
+					key := rng.Uint64() % 800
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3, 4, 5:
+						v := trace.ValueFor(key^uint64(gen*opsPerGen+i), 16+rng.Intn(140))
+						if err := store.Insert(ctx, key, v); err != nil {
+							return fmt.Errorf("gen %d op %d: %v", gen, i, err)
+						}
+						model[key] = v
+					case 6, 7:
+						store.Delete(ctx, key)
+						delete(model, key)
+					default:
+						store.Get(ctx, key)
+					}
+					// Occasionally run a synchronous defragmentation cycle.
+					if i%400 == 399 && pool.Heap().Frag(ffccd.Page4K).FragRatio > opt.TriggerRatio {
+						eng.RunCycle(ctx)
+					}
+				}
 
-		// Restart.
-		rt2, err := ffccd.AttachRuntime(&cfg, dev)
-		if err != nil {
-			t.Fatalf("gen %d attach: %v", gen, err)
-		}
-		pool, err = rt2.Open("soak", mkReg())
-		if err != nil {
-			t.Fatalf("gen %d open: %v", gen, err)
-		}
-		eng, err = ffccd.Recover(ctx, pool, opt)
-		if err != nil {
-			t.Fatalf("gen %d recover: %v", gen, err)
-		}
+				// Sometimes crash mid-epoch, sometimes crash quiescent,
+				// sometimes shut down cleanly.
+				mode := rng.Intn(3)
+				switch mode {
+				case 0: // crash mid-epoch if possible
+					if eng.BeginCycle(ctx) {
+						eng.StepCompaction(ctx, rng.Intn(600))
+					}
+					crashPolicy(dev, rng)
+					dev.Crash()
+					if eng.RBB() != nil {
+						eng.RBB().PowerLossFlush()
+					}
+				case 1: // crash with the engine idle (dirty cache still lost)
+					crashPolicy(dev, rng)
+					dev.Crash()
+					if eng.RBB() != nil {
+						eng.RBB().PowerLossFlush()
+					}
+				default: // clean shutdown
+					eng.Close()
+					dev.FlushAll(ctx)
+				}
+				eng = nil
 
-		// Verify: rebuild the store view, compare against the surviving
-		// model. Crashes may have rolled back the last uncommitted op, but
-		// every op here committed before the crash point, so the model holds
-		// exactly.
-		store, err = ffccd.NewList(ctx, pool)
-		if err != nil {
-			t.Fatalf("gen %d rebuild: %v", gen, err)
-		}
-		if err := checker.CheckStore(ctx, store, model); err != nil {
-			t.Fatalf("gen %d (mode %d): %v", gen, mode, err)
-		}
-		if _, err := checker.CheckGraph(ctx, pool); err != nil {
-			t.Fatalf("gen %d graph: %v", gen, err)
+				// Restart.
+				rt2, err := ffccd.AttachRuntime(&cfg, dev)
+				if err != nil {
+					return fmt.Errorf("gen %d attach: %v", gen, err)
+				}
+				pool, err = rt2.Open("soak", mkReg())
+				if err != nil {
+					return fmt.Errorf("gen %d open: %v", gen, err)
+				}
+				eng, err = ffccd.Recover(ctx, pool, opt)
+				if err != nil {
+					return fmt.Errorf("gen %d recover: %v", gen, err)
+				}
+
+				// Verify: rebuild the store view, compare against the
+				// surviving model. Crashes may have rolled back the last
+				// uncommitted op, but every op here committed before the
+				// crash point, so the model holds exactly.
+				store, err = ffccd.NewList(ctx, pool)
+				if err != nil {
+					return fmt.Errorf("gen %d rebuild: %v", gen, err)
+				}
+				if err := checker.CheckStore(ctx, store, model); err != nil {
+					return fmt.Errorf("gen %d (mode %d): %v", gen, mode, err)
+				}
+				if _, err := checker.CheckGraph(ctx, pool); err != nil {
+					return fmt.Errorf("gen %d graph: %v", gen, err)
+				}
+				return nil
+			}()
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(soakGenDeadline):
+			t.Fatalf("gen %d: exceeded the %s per-generation deadline (hang)", gen, soakGenDeadline)
 		}
 	}
 	if eng != nil {
