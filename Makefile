@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-host benchdiff golden crashmatrix clean
+.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchdiff golden crashmatrix clean
 
 all: check
 
@@ -33,17 +33,27 @@ crashmatrix: build
 		-nested -max-nested 4 -timeout 2m
 
 # check is the full CI target: gofmt + vet + race-detector short tests +
-# full tests + the reduced crash-schedule matrix.
-check: fmt vet race test crashmatrix
+# full tests + the reduced crash-schedule matrix + the measurement smoke.
+check: fmt vet race test crashmatrix benchsmoke
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
 # bench-host produces the machine-readable host-performance record
-# BENCH_3.json (see scripts/bench.sh and README.md).
+# BENCH_4.json (see scripts/bench.sh and README.md).
 bench-host:
 	scripts/bench.sh
+
+# benchsmoke is the fast CI pass over the measurement tooling: the device
+# micro-benchmarks run once each (-benchtime=1x), and the bench CLI runs a
+# tiny fig5 with the span fast path off and on — exercising the -span/-fork
+# plumbing and the BENCH record fields without a full bench-host session.
+benchsmoke: build
+	$(GO) test -run XXX -bench . -benchtime=1x ./internal/pmem/
+	$(GO) run ./cmd/ffccd-bench -experiment fig5 -scale 0.0005 -span=false -json /tmp/ffccd_benchsmoke.json >/dev/null
+	$(GO) run ./cmd/ffccd-bench -experiment fig5 -scale 0.0005 -span=true -json /tmp/ffccd_benchsmoke.json >/dev/null
+	@echo "benchsmoke OK"
 
 # benchdiff compares two `go test -bench` outputs with benchstat, e.g.
 #   make bench > old.txt; <changes>; make bench > new.txt

@@ -39,6 +39,7 @@ import (
 
 	"ffccd/internal/experiments"
 	"ffccd/internal/obsv"
+	"ffccd/internal/pmem"
 )
 
 // benchRecord is one -json entry: host-side timing plus whatever simulated
@@ -49,14 +50,20 @@ type benchRecord struct {
 	Scale       float64 `json:"scale"`
 	Parallel    int     `json:"parallel"`
 	Fork        bool    `json:"fork"`
+	Span        bool    `json:"span"`
 	HostSeconds float64 `json:"host_seconds"`
 	Repeat      int     `json:"repeat,omitempty"`
 	// Fork-driver counters for this experiment (zero when -fork=false or
 	// the experiment has no scheme groups to share a prefix across).
-	ForkPrefixes    uint64             `json:"fork_prefixes,omitempty"`
-	ForkCheckpoints uint64             `json:"fork_checkpoints,omitempty"`
-	ForkRuns        uint64             `json:"fork_runs,omitempty"`
-	Metrics         map[string]float64 `json:"metrics,omitempty"`
+	// fork_checkpoint_bytes is what the dirty-page checkpoints actually
+	// captured; fork_media_bytes what full-image copies of the same devices
+	// would have moved — their ratio is the sparse-checkpoint win.
+	ForkPrefixes        uint64             `json:"fork_prefixes,omitempty"`
+	ForkCheckpoints     uint64             `json:"fork_checkpoints,omitempty"`
+	ForkRuns            uint64             `json:"fork_runs,omitempty"`
+	ForkCheckpointBytes uint64             `json:"fork_checkpoint_bytes,omitempty"`
+	ForkMediaBytes      uint64             `json:"fork_media_bytes,omitempty"`
+	Metrics             map[string]float64 `json:"metrics,omitempty"`
 	// TraceMode records whether observability collection was on for this
 	// repetition ("full" or "ring"); absent means tracing disabled, i.e.
 	// the row measures the zero-overhead-when-disabled configuration.
@@ -75,6 +82,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment-driver worker count (0 = GOMAXPROCS or $FFCCD_PARALLEL)")
 	jsonPath := flag.String("json", "", "write machine-readable benchmark records to this file")
 	fork := flag.Bool("fork", true, "share checkpointed workload prefixes across a cell's schemes (host optimisation; simulated results are bit-identical either way)")
+	span := flag.Bool("span", true, "use the span-aware multi-line device fast path (host optimisation; simulated results are bit-identical either way)")
 	repeat := flag.Int("repeat", 1, "run each experiment N times, recording every repetition (host-time variance)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -87,6 +95,7 @@ func main() {
 		experiments.SetParallelism(*parallel)
 	}
 	experiments.SetFork(*fork)
+	pmem.SetSpanPathDefault(*span)
 	if *repeat < 1 {
 		*repeat = 1
 	}
@@ -182,12 +191,14 @@ func main() {
 				Scale:       *scale,
 				Parallel:    experiments.Parallelism(),
 				Fork:        experiments.ForkEnabled(),
+				Span:        *span,
 				HostSeconds: elapsed,
 			}
 			if *repeat > 1 {
 				rec.Repeat = rep
 			}
 			rec.ForkPrefixes, rec.ForkCheckpoints, rec.ForkRuns = experiments.ForkCounters()
+			rec.ForkCheckpointBytes, rec.ForkMediaBytes = experiments.ForkCheckpointBytes()
 			if m, ok := out.(interface{ Metrics() map[string]float64 }); ok {
 				rec.Metrics = m.Metrics()
 			}

@@ -161,12 +161,16 @@ func NewCheckLookupUnit(cfg *sim.Config) *CheckLookupUnit {
 	}
 }
 
-// Reset invalidates all cached state (new GC cycle or simulated restart).
+// Reset restores power-on state: BFC and PMFTLB invalid, LRU clock at zero.
+// A reset unit simulates bit-identically to a freshly constructed one (the
+// counters are host-side totals and charge nothing), which is what lets
+// engines recycle units across resolves instead of allocating each time.
 func (u *CheckLookupUnit) Reset() {
 	u.bfcValid = false
 	for i := range u.tlb {
 		u.tlb[i] = pmftlbEntry{}
 	}
+	u.tick = 0
 }
 
 // check runs the BFC stage: is va possibly on a relocation page?

@@ -17,15 +17,38 @@ type readBarrier struct {
 	ep *epochState
 }
 
-// cluFor returns the calling thread's checklookup unit, lazily created and
-// cached in the per-thread context (one unit per simulated core). shared is
-// the engine's aggregate counter sink (nil when observability is off).
-func cluFor(ctx *sim.Ctx, cfg *sim.Config, shared *arch.CLUStats) *arch.CheckLookupUnit {
+// cluFor returns the checklookup unit for one resolve. A unit already
+// attached to the context (planted there by a checkpoint restore, so a fork
+// resumes with the warm BFC/PMFTLB it captured) is used as-is. Otherwise a
+// unit comes from the engine's pool, Reset to power-on state — simulating
+// identically to the fresh allocation this replaces — and the caller must
+// hand it back with cluDone. pooled reports which case applied.
+func (e *Engine) cluFor(ctx *sim.Ctx) (u *arch.CheckLookupUnit, pooled bool) {
 	if u, ok := ctx.HW.(*arch.CheckLookupUnit); ok {
-		return u
+		u.Shared = e.cluStats
+		return u, false
 	}
-	u := arch.NewCheckLookupUnit(cfg)
-	u.Shared = shared
+	u = e.cluPool.Get().(*arch.CheckLookupUnit)
+	u.Reset()
+	u.Shared = e.cluStats
+	return u, true
+}
+
+// cluDone returns a pooled unit; units found on the context stay attached.
+func (e *Engine) cluDone(u *arch.CheckLookupUnit, pooled bool) {
+	if pooled {
+		e.cluPool.Put(u)
+	}
+}
+
+// RestoreCLU rebuilds a checklookup unit from a machine checkpoint, wires it
+// to this engine's counter sink, and attaches it to ctx so subsequent
+// resolves on ctx use the restored (warm) unit instead of pooled cold ones.
+// Used by drivers that fork a machine captured inside an open epoch.
+func (e *Engine) RestoreCLU(ctx *sim.Ctx, c *arch.CheckLookupUnitCheckpoint) *arch.CheckLookupUnit {
+	u := arch.NewCheckLookupUnit(e.cfg)
+	u.Restore(c)
+	u.Shared = e.cluStats
 	ctx.HW = u
 	return u
 }
@@ -59,7 +82,9 @@ func (b *readBarrier) resolve(ctx *sim.Ctx, ref pmop.Ptr) pmop.Ptr {
 	var dstOff uint64
 	if ep.scheme == SchemeFFCCDCheckLookup {
 		// Hardware checklookup: BFC + PMFTLB (§4.3.2).
-		dstVA, ok := cluFor(clCtx, e.cfg, e.cluStats).CheckLookup(clCtx, p.VA(off), ep.blooms, ep.fwd)
+		u, pooled := e.cluFor(clCtx)
+		dstVA, ok := u.CheckLookup(clCtx, p.VA(off), ep.blooms, ep.fwd)
+		e.cluDone(u, pooled)
 		if !ok {
 			return ref
 		}

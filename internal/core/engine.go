@@ -141,6 +141,12 @@ type Engine struct {
 	hBatch   *obsv.Histogram
 	hBarrier *obsv.Histogram
 	cluStats *arch.CLUStats
+
+	// cluPool recycles the per-resolve checklookup units. Units are
+	// architecturally transient — one cold unit per read-barrier resolve —
+	// and cluFor resets recycled ones to power-on state, so pooling changes
+	// host allocation pressure only, never simulated cycles.
+	cluPool sync.Pool
 }
 
 // NewEngine attaches a defragmentation engine to a pool. For the FFCCD
@@ -158,6 +164,7 @@ func NewEngine(p *pmop.Pool, opt Options) *Engine {
 	if opt.BatchObjects <= 0 {
 		e.opt.BatchObjects = 32
 	}
+	e.cluPool.New = func() any { return arch.NewCheckLookupUnit(cfg) }
 	if opt.Scheme.UsesRelocateInstruction() {
 		e.rbb = arch.NewRBB(cfg, p.Device())
 		p.Device().SetRBB(e.rbb)

@@ -8,11 +8,7 @@ package experiments
 
 import (
 	"fmt"
-	"os"
-	"runtime"
-	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"ffccd/internal/core"
 	"ffccd/internal/ds"
@@ -21,6 +17,7 @@ import (
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
 	"ffccd/internal/workload"
+	"ffccd/internal/workpool"
 )
 
 // DefaultScale is the workload scale factor relative to the paper
@@ -157,33 +154,19 @@ func poolSizeFor(wl workload.Config) uint64 {
 	return need
 }
 
-// parallelism is the worker count used by RunSpecs to fan independent runs
-// out across the host's cores. Every Run builds its own Env (device, pool,
-// runtime), so runs are hermetic; parallelism changes host wall-clock only,
-// never a simulated result. Defaults to GOMAXPROCS, overridable with the
-// FFCCD_PARALLEL environment variable or SetParallelism.
-var parallelism atomic.Int64
+// Host-side fan-out runs on the process-wide worker pool shared with the
+// fault-injection campaign (internal/workpool). Every Run builds its own Env
+// (device, pool, runtime), so runs are hermetic; the pool size changes host
+// wall-clock only, never a simulated result. Defaults to GOMAXPROCS,
+// overridable with the FFCCD_PARALLEL environment variable or
+// SetParallelism.
 
-func init() {
-	n := runtime.GOMAXPROCS(0)
-	if s := os.Getenv("FFCCD_PARALLEL"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			n = v
-		}
-	}
-	parallelism.Store(int64(n))
-}
+// SetParallelism sets the shared pool's worker count (values < 1 mean
+// serial).
+func SetParallelism(n int) { workpool.SetParallelism(n) }
 
-// SetParallelism sets the RunSpecs worker count (values < 1 mean serial).
-func SetParallelism(n int) {
-	if n < 1 {
-		n = 1
-	}
-	parallelism.Store(int64(n))
-}
-
-// Parallelism returns the current RunSpecs worker count.
-func Parallelism() int { return int(parallelism.Load()) }
+// Parallelism returns the shared pool's current worker count.
+func Parallelism() int { return workpool.Parallelism() }
 
 // RunSpecs executes every spec, fanning them out across Parallelism()
 // workers, and returns the outcomes in spec order (the output is
@@ -202,43 +185,13 @@ func RunSpecs(specs []Spec) ([]Outcome, error) {
 	return outs, nil
 }
 
-// parallelFor runs f(0..n-1) across Parallelism() workers and returns the
-// first error in index order. It is the fan-out primitive for experiments
-// whose units of work are not plain Specs (custom envs, multi-run series).
+// parallelFor runs f(0..n-1) on the shared worker pool and returns the first
+// error in index order. It is the fan-out primitive for experiments whose
+// units of work are not plain Specs (custom envs, multi-run series); nested
+// calls — the fork driver fans a group's schemes out from inside the
+// per-cell fan-out — share the pool's slots instead of oversubscribing.
 func parallelFor(n int, f func(i int) error) error {
-	errs := make([]error, n)
-	workers := Parallelism()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			errs[i] = f(i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					errs[i] = f(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return workpool.ForEach(n, f)
 }
 
 // Run executes one spec and returns its outcome.

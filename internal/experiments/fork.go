@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"ffccd/internal/alloc"
+	"ffccd/internal/arch"
 	"ffccd/internal/core"
 	"ffccd/internal/ds"
 	"ffccd/internal/kv"
@@ -60,6 +61,13 @@ var (
 	forkPrefixes    atomic.Uint64 // shared prefixes built
 	forkCheckpoints atomic.Uint64 // machine checkpoints taken (one per BeginCycle attempt)
 	forkRuns        atomic.Uint64 // runs served from a checkpoint instead of from scratch
+
+	// forkCapturedBytes sums the media bytes each checkpoint actually
+	// captured (dirty pages only); forkMediaBytes sums what a full-image
+	// copy of the same devices would have moved. Their ratio is the
+	// dirty-line checkpointing win reported in BENCH_4.json.
+	forkCapturedBytes atomic.Uint64
+	forkMediaBytes    atomic.Uint64
 )
 
 // ForkCounters returns (prefixes built, checkpoints taken, forked runs).
@@ -67,11 +75,20 @@ func ForkCounters() (prefixes, checkpoints, forks uint64) {
 	return forkPrefixes.Load(), forkCheckpoints.Load(), forkRuns.Load()
 }
 
+// ForkCheckpointBytes returns the media bytes captured across all machine
+// checkpoints (dirty pages only) and the bytes a full-media copy of the
+// same checkpoints would have captured.
+func ForkCheckpointBytes() (captured, fullMedia uint64) {
+	return forkCapturedBytes.Load(), forkMediaBytes.Load()
+}
+
 // ResetForkCounters zeroes the fork-driver counters.
 func ResetForkCounters() {
 	forkPrefixes.Store(0)
 	forkCheckpoints.Store(0)
 	forkRuns.Store(0)
+	forkCapturedBytes.Store(0)
+	forkMediaBytes.Store(0)
 }
 
 // machineCheckpoint captures the whole simulated machine at a candidate
@@ -93,6 +110,14 @@ type machineCheckpoint struct {
 	// Forked outcomes add it so they report the same engine activity a
 	// scratch run would.
 	engine core.EngineStats
+
+	// Architectural hot state, for checkpoints taken inside an open epoch
+	// (crash-replay tests; the standard driver's fork points sit outside
+	// epochs, where all three are nil). rbb is the engine's Reached Bitmap
+	// Buffer; appCLU/gcCLU are the checklookup units attached to the two
+	// contexts, when a unit is resident there.
+	rbb           *arch.RBBCheckpoint
+	appCLU, gcCLU *arch.CheckLookupUnitCheckpoint
 }
 
 // prefixState is the outcome of building one cell's shared prefix: either a
@@ -110,12 +135,43 @@ type prefixState struct {
 
 func captureMachine(chk *machineCheckpoint, env *Env, gcCtx *sim.Ctx, eng *core.Engine) {
 	env.RT.Device().CheckpointInto(&chk.dev)
+	forkCapturedBytes.Add(chk.dev.CapturedBytes())
+	forkMediaBytes.Add(chk.dev.MediaBytes())
 	env.Pool.Heap().CheckpointInto(&chk.heap)
 	env.Ctx.CheckpointInto(&chk.appCtx)
 	gcCtx.CheckpointInto(&chk.gcCtx)
 	chk.ops = env.Pool.Ops.Load()
 	chk.txOrder = env.Pool.TxSlotOrder()
 	chk.engine = eng.Stats()
+	chk.rbb, chk.appCLU, chk.gcCLU = nil, nil, nil
+	if rbb := eng.RBB(); rbb != nil {
+		chk.rbb = rbb.Checkpoint()
+	}
+	if u, ok := env.Ctx.HW.(*arch.CheckLookupUnit); ok {
+		chk.appCLU = u.Checkpoint()
+	}
+	if u, ok := gcCtx.HW.(*arch.CheckLookupUnit); ok {
+		chk.gcCLU = u.Checkpoint()
+	}
+}
+
+// restoreHW replants the checkpoint's architectural hot state into a
+// restored machine: the engine's RBB (when both sides have one — schemes
+// without the relocate instruction have no buffer to restore into) and the
+// per-context checklookup units, recreated on the engine and attached to the
+// contexts so the read barrier finds them warm.
+func restoreHW(chk *machineCheckpoint, eng *core.Engine, ctx, gcCtx *sim.Ctx) {
+	if chk.rbb != nil {
+		if rbb := eng.RBB(); rbb != nil {
+			rbb.Restore(chk.rbb)
+		}
+	}
+	if chk.appCLU != nil {
+		eng.RestoreCLU(ctx, chk.appCLU)
+	}
+	if chk.gcCLU != nil {
+		eng.RestoreCLU(gcCtx, chk.gcCLU)
+	}
 }
 
 // buildPrefix runs spec's workload up to the scheme-divergence point.
@@ -231,6 +287,7 @@ func runFork(pre *prefixState, spec Spec) (Outcome, error) {
 		Obs:          obs,
 	})
 	registerRunGroups(obs, ctx, gcCtx, eng)
+	restoreHW(&pre.chk, eng, ctx, gcCtx)
 	// The standard scheme hooks (identical to Run's): the resumed runner's
 	// first action is this Maintenance, re-running the divergence attempt
 	// under spec.Scheme.

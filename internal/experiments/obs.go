@@ -68,7 +68,7 @@ func registerRunGroups(o *obsv.Obs, appCtx, gcCtx *sim.Ctx, eng *core.Engine) {
 	})
 	o.Metrics.RegisterGroup("tlb", func() map[string]uint64 {
 		return map[string]uint64{
-			"accesses":  appCtx.TLB.Accesses + gcCtx.TLB.Accesses,
+			"accesses":  appCtx.TLB.AccessCount() + gcCtx.TLB.AccessCount(),
 			"l1_misses": appCtx.TLB.L1Misses + gcCtx.TLB.L1Misses,
 			"l2_misses": appCtx.TLB.L2Misses + gcCtx.TLB.L2Misses,
 		}

@@ -25,11 +25,7 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
-	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"ffccd/internal/checker"
 	"ffccd/internal/core"
@@ -38,6 +34,7 @@ import (
 	"ffccd/internal/pmem"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
+	"ffccd/internal/workpool"
 )
 
 // TrialOptions carries per-campaign hooks. The zero value is a plain trial.
@@ -58,64 +55,28 @@ type TrialOptions struct {
 	AfterRecovery func(ctx *sim.Ctx, p *pmop.Pool)
 }
 
-// parallelism is the worker count used by RunSetting and campaign drivers.
-// Every trial builds its own simulated machine, so trials are hermetic;
-// parallelism changes host wall-clock only, never a trial verdict. Defaults
-// to GOMAXPROCS, overridable with FFCCD_PARALLEL or SetParallelism
-// (mirroring the experiments driver).
-var parallelism atomic.Int64
+// Host-side fan-out runs on the process-wide worker pool shared with the
+// experiments driver (internal/workpool). Every trial builds its own
+// simulated machine, so trials are hermetic; the pool size changes host
+// wall-clock only, never a trial verdict. Defaults to GOMAXPROCS,
+// overridable with FFCCD_PARALLEL or SetParallelism.
 
-func init() {
-	n := runtime.GOMAXPROCS(0)
-	if s := os.Getenv("FFCCD_PARALLEL"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			n = v
-		}
-	}
-	parallelism.Store(int64(n))
-}
+// SetParallelism sets the shared pool's worker count (values < 1 mean
+// serial).
+func SetParallelism(n int) { workpool.SetParallelism(n) }
 
-// SetParallelism sets the campaign worker count (values < 1 mean serial).
-func SetParallelism(n int) {
-	if n < 1 {
-		n = 1
-	}
-	parallelism.Store(int64(n))
-}
+// Parallelism returns the shared pool's current worker count.
+func Parallelism() int { return int(workpool.Parallelism()) }
 
-// Parallelism returns the current campaign worker count.
-func Parallelism() int { return int(parallelism.Load()) }
-
-// parallelFor runs f(0..n-1) across min(Parallelism(), n) workers. Results
-// must be written into index-addressed slots by f, so output order is
-// deterministic regardless of worker count.
+// parallelFor runs f(0..n-1) on the shared worker pool. Results must be
+// written into index-addressed slots by f, so output order is deterministic
+// regardless of worker count; nested fan-outs (campaign sweeps running
+// trial grids) share the pool's slots instead of oversubscribing.
 func parallelFor(n int, f func(i int)) {
-	workers := Parallelism()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= n {
-					return
-				}
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
+	_ = workpool.ForEach(n, func(i int) error {
+		f(i)
+		return nil
+	})
 }
 
 // Setting is one validation configuration.

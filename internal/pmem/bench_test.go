@@ -73,6 +73,73 @@ func BenchmarkDeviceStoreClwbSfence(b *testing.B) {
 	}
 }
 
+// The span benchmarks measure the multi-line fast path against the per-line
+// walk it replaces (span=false), across span lengths and under the set-array
+// wrap-around worst case. Single goroutine with exclusivity on — the only
+// regime where the span path engages.
+func benchSpanDevice(span bool) (*Device, *sim.Ctx) {
+	cfg := sim.DefaultConfig()
+	d := NewDevice(&cfg, 64<<20)
+	d.SetExclusive(true)
+	d.SetSpanPath(span)
+	return d, sim.NewCtx(&cfg)
+}
+
+func BenchmarkDeviceLoadSpan(b *testing.B) {
+	for _, lines := range []int{1, 2, 4, 8} {
+		for _, span := range []bool{false, true} {
+			b.Run(fmt.Sprintf("lines=%d/span=%v", lines, span), func(b *testing.B) {
+				d, ctx := benchSpanDevice(span)
+				buf := make([]byte, lines*LineSize)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.Load(ctx, (uint64(i)%16384)*uint64(lines)*LineSize, buf)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDeviceStoreSpan(b *testing.B) {
+	for _, lines := range []int{1, 2, 4, 8} {
+		for _, span := range []bool{false, true} {
+			b.Run(fmt.Sprintf("lines=%d/span=%v", lines, span), func(b *testing.B) {
+				d, ctx := benchSpanDevice(span)
+				data := make([]byte, lines*LineSize)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.Store(ctx, (uint64(i)%16384)*uint64(lines)*LineSize, data)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDeviceLoadSpanConflict is the span worst case: a cache small
+// enough that an 8-line span wraps the whole set array, so every span access
+// evicts lines the same span just filled.
+func BenchmarkDeviceLoadSpanConflict(b *testing.B) {
+	for _, span := range []bool{false, true} {
+		b.Run(fmt.Sprintf("span=%v", span), func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.CacheBytes = 4 * 1024
+			cfg.CacheWays = 2
+			d := NewDevice(&cfg, 16<<20)
+			d.SetExclusive(true)
+			d.SetSpanPath(span)
+			ctx := sim.NewCtx(&cfg)
+			buf := make([]byte, 8*LineSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Load(ctx, (uint64(i)%4096)*8*LineSize, buf)
+			}
+		})
+	}
+}
+
 func BenchmarkRelocateParts(b *testing.B) {
 	for _, g := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {

@@ -1,13 +1,23 @@
 package pmem
 
+import "math/bits"
+
 // Device checkpoint/restore for the fork-based experiment driver
 // (DESIGN.md §7): capture the complete simulated machine-memory state —
 // persistent media, every cache set's tags/ages/lines/LRU ticks, the
 // in-flight (clwb'd, unfenced) lines, the pending-set list, eADR mode and
 // the cumulative counters — and later reproduce it bit-identically on a
-// fresh device of the same geometry. CheckpointInto reuses the checkpoint's
-// buffers (the media copy dominates), so a driver that re-checkpoints at
-// every candidate fork point allocates only on the first capture.
+// fresh device of the same geometry.
+//
+// Media is captured SPARSELY against the all-zero base image every device
+// starts from: only the pages marked in the device's dirty bitmap are
+// copied, so checkpoint and restore cost tracks the workload's footprint,
+// not the media size. Restore relies on the target device upholding the same
+// invariant (its media equals the base image outside its own dirty bitmap),
+// which NewDevice/NewDeviceForRestore guarantee — fresh arrays are zero, and
+// ReleaseMedia wipes recycled ones. CheckpointInto reuses the checkpoint's
+// buffers, so a driver that re-checkpoints at every candidate fork point
+// allocates only while the captured footprint is still growing.
 
 // setCheckpoint is a deep copy of one cache set's volatile state.
 type setCheckpoint struct {
@@ -23,10 +33,19 @@ type setCheckpoint struct {
 // state. One checkpoint may be restored into any number of devices (fork
 // fan-out reads it concurrently; Restore only reads the checkpoint).
 type DeviceCheckpoint struct {
-	Media []byte
-	Sets  []setCheckpoint
-	Pend  []int
-	EADR  bool
+	// MediaLen is the source device's media size in bytes.
+	MediaLen int
+	// Dirty is the source's dirty-page bitmap; Pages lists the marked page
+	// indices in ascending order and PageData their contents, one
+	// DirtyPageSize stride per page (the final page of an unaligned media
+	// size is zero-padded).
+	Dirty    []uint64
+	Pages    []uint32
+	PageData []byte
+
+	Sets []setCheckpoint
+	Pend []int
+	EADR bool
 
 	// Stats holds the counter totals (summed over shards). The per-shard
 	// spread is host-scheduling detail, not simulated state, so Restore
@@ -34,6 +53,15 @@ type DeviceCheckpoint struct {
 	// either way.
 	Stats [statCount]uint64
 }
+
+// CapturedBytes is the volume of media data the checkpoint holds — the
+// sparse alternative to the MediaBytes a full-image copy would move.
+func (c *DeviceCheckpoint) CapturedBytes() uint64 {
+	return uint64(len(c.Pages)) * DirtyPageSize
+}
+
+// MediaBytes is the source device's full media size.
+func (c *DeviceCheckpoint) MediaBytes() uint64 { return uint64(c.MediaLen) }
 
 // Checkpoint captures the device state. Call only on a quiescent device.
 func (d *Device) Checkpoint() *DeviceCheckpoint {
@@ -45,11 +73,24 @@ func (d *Device) Checkpoint() *DeviceCheckpoint {
 // CheckpointInto captures the device state into c, reusing c's buffers.
 // Call only on a quiescent device.
 func (d *Device) CheckpointInto(c *DeviceCheckpoint) {
-	if cap(c.Media) < len(d.media) {
-		c.Media = make([]byte, len(d.media))
+	c.MediaLen = len(d.media)
+	c.Dirty = append(c.Dirty[:0], d.dirty...)
+	c.Pages = c.Pages[:0]
+	c.PageData = c.PageData[:0]
+	size := uint64(len(d.media))
+	for _, p := range dirtyPages(d.dirty) {
+		start := uint64(p) << DirtyPageShift
+		end := start + DirtyPageSize
+		c.Pages = append(c.Pages, p)
+		if end <= size {
+			c.PageData = append(c.PageData, d.media[start:end]...)
+			continue
+		}
+		// Unaligned tail: store the partial page zero-padded to full stride.
+		var pad [DirtyPageSize]byte
+		copy(pad[:], d.media[start:size])
+		c.PageData = append(c.PageData, pad[:]...)
 	}
-	c.Media = c.Media[:len(d.media)]
-	copy(c.Media, d.media)
 
 	if len(c.Sets) != len(d.sets) {
 		c.Sets = make([]setCheckpoint, len(d.sets))
@@ -84,15 +125,56 @@ func (d *Device) CheckpointInto(c *DeviceCheckpoint) {
 	c.Stats = t
 }
 
+// dirtyPages expands a dirty bitmap into ascending page indices.
+func dirtyPages(bitmap []uint64) []uint32 {
+	var out []uint32
+	for w, bw := range bitmap {
+		for bw != 0 {
+			out = append(out, uint32(w<<6+bits.TrailingZeros64(bw)))
+			bw &= bw - 1
+		}
+	}
+	return out
+}
+
 // Restore overwrites the device's state from c. The device must have the
-// same media size and cache geometry as the checkpoint's source. Call only
-// on a quiescent device; the checkpoint itself is not modified, so several
-// devices may restore from the same checkpoint concurrently.
+// same media size and cache geometry as the checkpoint's source, and must
+// uphold the base-image invariant (media all-zero outside its dirty
+// bitmap). Call only on a quiescent device; the checkpoint itself is not
+// modified, so several devices may restore from the same checkpoint
+// concurrently.
 func (d *Device) Restore(c *DeviceCheckpoint) {
-	if len(c.Media) != len(d.media) || len(c.Sets) != len(d.sets) {
+	if c.MediaLen != len(d.media) || len(c.Sets) != len(d.sets) {
 		panic("pmem: Restore geometry mismatch")
 	}
-	copy(d.media, c.Media)
+	size := uint64(len(d.media))
+	// Zero this device's dirty pages the checkpoint does not cover (its
+	// covered pages are overwritten below), then adopt the checkpoint's
+	// bitmap.
+	for w, bw := range d.dirty {
+		if w < len(c.Dirty) {
+			bw &^= c.Dirty[w]
+		}
+		for bw != 0 {
+			p := uint64(w<<6 + bits.TrailingZeros64(bw))
+			bw &= bw - 1
+			start := p << DirtyPageShift
+			end := start + DirtyPageSize
+			if end > size {
+				end = size
+			}
+			clear(d.media[start:end])
+		}
+	}
+	copy(d.dirty, c.Dirty)
+	for i, p := range c.Pages {
+		start := uint64(p) << DirtyPageShift
+		end := start + DirtyPageSize
+		if end > size {
+			end = size
+		}
+		copy(d.media[start:end], c.PageData[uint64(i)<<DirtyPageShift:])
+	}
 	for i := range d.sets {
 		set := &d.sets[i]
 		cs := &c.Sets[i]

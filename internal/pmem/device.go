@@ -41,6 +41,16 @@ const LineSize = 64
 // LineShift is log2(LineSize).
 const LineShift = 6
 
+// DirtyPageShift is log2 of the dirty-tracking granularity (4 KB): the unit
+// in which the device remembers which media pages may differ from the
+// all-zero image a fresh device starts from. Checkpoints capture and
+// restores re-apply only those pages, so fork cost tracks the workload's
+// footprint instead of the media size (DESIGN.md §7).
+const DirtyPageShift = 12
+
+// DirtyPageSize is the dirty-tracking page size in bytes.
+const DirtyPageSize = 1 << DirtyPageShift
+
 // RBBSink receives notifications when a cacheline tagged by relocate reaches
 // the persistence domain. The arch package's Reached Bitmap Buffer implements
 // it. Implementations must not call back into Device cache operations (they
@@ -130,6 +140,16 @@ type Device struct {
 	// computes exactly lineIdx % nset.
 	setMagic uint64
 
+	// dirty marks DirtyPageSize media pages that may differ from the
+	// all-zero base image, one bit per page. Every media-write path sets the
+	// page's bit (plain or-in under exclusive mode, atomic otherwise);
+	// CheckpointInto captures only marked pages, Restore zeroes/overwrites
+	// only marked pages, and ReleaseMedia wipes marked pages so recycled
+	// buffers are always all-zero. A spuriously set bit only costs a no-op
+	// copy; a missed bit would corrupt forked runs, so every write to
+	// d.media must be paired with touchLine/touchRange.
+	dirty []uint64
+
 	// pend lists the indices of sets that currently hold in-flight lines, so
 	// Sfence visits only those sets instead of scanning the whole cache.
 	pendMu sync.Mutex
@@ -164,7 +184,27 @@ type Device struct {
 	// default; see site.go). Atomic so arming/disarming never touches the
 	// per-access locks.
 	sites atomic.Pointer[SiteRecorder]
+
+	// span gates the multi-line span fast path in Load/Store (see loadSpan).
+	// Purely a host optimization — span and per-line paths produce
+	// bit-identical simulated results (pinned by the span property tests) —
+	// so the toggle exists only for A/B benchmarking.
+	span bool
 }
+
+// spanPathDefault seeds the span flag of newly created devices (on by
+// default; cmd/ffccd-bench -span=false measures the off configuration).
+var spanPathDefault atomic.Bool
+
+func init() { spanPathDefault.Store(true) }
+
+// SetSpanPathDefault sets whether devices created from now on use the
+// multi-line span fast path.
+func SetSpanPathDefault(on bool) { spanPathDefault.Store(on) }
+
+// SetSpanPath toggles this device's multi-line span fast path. Call only on
+// a quiescent device.
+func (d *Device) SetSpanPath(on bool) { d.span = on }
 
 // SetObs wires the observability bundle into the device: the wpq_drain_lines
 // histogram, the "device" stats snapshot group, crash instants (plus the
@@ -220,35 +260,93 @@ func (d *Device) SetEADR(on bool) { d.eADR.Store(on) }
 // EADR reports whether the device is in eADR mode.
 func (d *Device) EADR() bool { return d.eADR.Load() }
 
-// NewDevice creates a device with size bytes of persistent media.
+// NewDevice creates a device with size bytes of all-zero persistent media,
+// recycling a released device's array when one fits (recycled arrays are
+// wiped back to zero by ReleaseMedia, so this is indistinguishable from a
+// fresh allocation).
 func NewDevice(cfg *sim.Config, size uint64) *Device {
-	return newDevice(cfg, make([]byte, size))
+	return newDevice(cfg, zeroMedia(size))
 }
 
 // mediaPool recycles media arrays across short-lived simulated devices: the
 // fork-based experiment driver creates (and drops) one multi-MB device per
-// forked run, and zeroing a fresh array each time dominates its setup cost.
+// forked run, and allocating plus faulting-in a fresh multi-MB array each
+// time dominates its setup cost. Pooled arrays are always all-zero: that is
+// the base image the dirty-page bitmap is relative to, so ReleaseMedia wipes
+// exactly the dirty pages before pooling — footprint-proportional work.
 var mediaPool sync.Pool
 
-// NewDeviceForRestore creates a device whose media contents are UNDEFINED —
-// possibly recycled from a released device. The caller must Restore a
-// checkpoint (which overwrites all media) before any other use. Pair with
-// ReleaseMedia to recycle the array.
-func NewDeviceForRestore(cfg *sim.Config, size uint64) *Device {
+// zeroMedia returns an all-zero media array of the given size, pooled when
+// possible.
+func zeroMedia(size uint64) []byte {
 	if v := mediaPool.Get(); v != nil {
 		if b := v.([]byte); uint64(cap(b)) >= size {
-			return newDevice(cfg, b[:size])
+			return b[:size]
 		}
 	}
-	return newDevice(cfg, make([]byte, size))
+	return make([]byte, size)
 }
 
-// ReleaseMedia returns the device's media array to the recycle pool. The
-// device is unusable afterwards; callers do this only when dropping it.
+// NewDeviceForRestore creates a device intended to receive a checkpoint via
+// Restore. Since pooled media is pre-zeroed it is today identical to
+// NewDevice; the separate entry point remains because restore targets are
+// the call sites that must pair with ReleaseMedia.
+func NewDeviceForRestore(cfg *sim.Config, size uint64) *Device {
+	return NewDevice(cfg, size)
+}
+
+// ReleaseMedia wipes the device's dirty pages back to the all-zero base
+// image and returns the media array to the recycle pool. The device is
+// unusable afterwards; callers do this only when dropping it.
 func (d *Device) ReleaseMedia() {
 	if d.media != nil {
+		d.wipeDirty()
 		mediaPool.Put(d.media)
 		d.media = nil
+	}
+}
+
+// wipeDirty zeroes every dirty page (returning the media to the all-zero
+// base image) and clears the bitmap. Call only on a quiescent device.
+func (d *Device) wipeDirty() {
+	size := uint64(len(d.media))
+	for w, bw := range d.dirty {
+		for bw != 0 {
+			p := uint64(w<<6 + bits.TrailingZeros64(bw))
+			bw &= bw - 1
+			start := p << DirtyPageShift
+			end := start + DirtyPageSize
+			if end > size {
+				end = size
+			}
+			clear(d.media[start:end])
+		}
+		d.dirty[w] = 0
+	}
+}
+
+// touchLine marks the dirty bit of the page holding lineIdx's line. Lines
+// never straddle pages (LineSize divides DirtyPageSize).
+func (d *Device) touchLine(lineIdx uint64) {
+	p := lineIdx >> (DirtyPageShift - LineShift)
+	if d.exclusive {
+		d.dirty[p>>6] |= 1 << (p & 63)
+	} else {
+		atomic.OrUint64(&d.dirty[p>>6], 1<<(p&63))
+	}
+}
+
+// touchRange marks every page overlapping [addr, addr+n).
+func (d *Device) touchRange(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for p, last := addr>>DirtyPageShift, (addr+n-1)>>DirtyPageShift; p <= last; p++ {
+		if d.exclusive {
+			d.dirty[p>>6] |= 1 << (p & 63)
+		} else {
+			atomic.OrUint64(&d.dirty[p>>6], 1<<(p&63))
+		}
 	}
 }
 
@@ -260,13 +358,16 @@ func newDevice(cfg *sim.Config, media []byte) *Device {
 	if nset < 1 {
 		nset = 1
 	}
+	npages := (size + DirtyPageSize - 1) >> DirtyPageShift
 	d := &Device{
 		cfg:    cfg,
 		media:  media,
 		nset:   nset,
 		nway:   nway,
 		sets:   make([]cacheSet, nset),
+		dirty:  make([]uint64, (npages+63)/64),
 		policy: DropAllInflight,
+		span:   spanPathDefault.Load(),
 	}
 	for i := range d.sets {
 		d.sets[i].tags = make([]uint64, nway)
@@ -355,6 +456,7 @@ func (set *cacheSet) inflightIndex(lineIdx uint64) int {
 // cannot interleave with a drain of the same line.
 func (d *Device) writeMediaLine(ctx *sim.Ctx, set *cacheSet, lineIdx uint64, data *[LineSize]byte, pending bool) {
 	copy(d.media[lineIdx<<LineShift:], data[:])
+	d.touchLine(lineIdx)
 	if i := set.inflightIndex(lineIdx); i >= 0 {
 		last := len(set.inflight) - 1
 		set.inflight[i] = set.inflight[last]
@@ -407,6 +509,10 @@ func (d *Device) RestoreMedia(img []byte) {
 		panic("pmem: RestoreMedia size mismatch")
 	}
 	copy(d.media, img)
+	// The image is arbitrary: conservatively mark every page dirty.
+	for i := range d.dirty {
+		d.dirty[i] = ^uint64(0)
+	}
 	d.dropVolatile()
 }
 
@@ -450,6 +556,7 @@ func (d *Device) MediaRead(addr uint64, buf []byte) {
 func (d *Device) MediaWrite(addr uint64, data []byte) {
 	d.checkRange(addr, uint64(len(data)))
 	copy(d.media[addr:], data)
+	d.touchRange(addr, uint64(len(data)))
 	d.lineShard(addr >> LineShift).c[cMediaWrites].Add(1)
 }
 
@@ -504,6 +611,7 @@ func (d *Device) Crash() {
 		fl := &pending[i]
 		if policy(fl.lineIdx << LineShift) {
 			copy(d.media[fl.lineIdx<<LineShift:], fl.data[:])
+			d.touchLine(fl.lineIdx)
 			if fl.pending {
 				// Reached the WPQ at power-off; ADR flushes it and the RBB
 				// update logic runs during the flush (§4.2).

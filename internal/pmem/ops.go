@@ -25,11 +25,20 @@ func (d *Device) fillLine(set *cacheSet, lineIdx uint64, buf *[LineSize]byte) {
 func (d *Device) lockLine(ctx *sim.Ctx, lineIdx uint64) (set *cacheSet, line *cacheLine, hit bool) {
 	set = d.setOf(lineIdx)
 	d.lockSet(set)
+	line, hit = d.resident(ctx, set, lineIdx)
+	return set, line, hit
+}
+
+// resident ensures lineIdx is cached in set — the set the line maps to,
+// which the caller has locked (or owns exclusively) — evicting a victim and
+// filling from the persistence domain on a miss. Returns the resident line
+// and whether the access hit.
+func (d *Device) resident(ctx *sim.Ctx, set *cacheSet, lineIdx uint64) (line *cacheLine, hit bool) {
 	tag := lineIdx + 1
 	if w := set.mruWay; set.tags[w] == tag {
 		set.tick++
 		set.ages[w] = set.tick
-		return set, &set.ways[w], true
+		return &set.ways[w], true
 	}
 	set.tick++
 	victim := 0
@@ -38,7 +47,7 @@ func (d *Device) lockLine(ctx *sim.Ctx, lineIdx uint64) (set *cacheSet, line *ca
 		if t == tag {
 			set.ages[w] = set.tick
 			set.mruWay = uint32(w)
-			return set, &set.ways[w], true
+			return &set.ways[w], true
 		}
 		if t == 0 {
 			if oldest != 0 {
@@ -62,7 +71,7 @@ func (d *Device) lockLine(ctx *sim.Ctx, lineIdx uint64) (set *cacheSet, line *ca
 	l.dirty = false
 	l.pending = false
 	d.fillLine(set, lineIdx, &l.data)
-	return set, l, false
+	return l, false
 }
 
 // Load reads len(buf) bytes at addr through the cache, charging hit/miss
@@ -91,6 +100,13 @@ func (d *Device) Load(ctx *sim.Ctx, addr uint64, buf []byte) {
 		return
 	}
 	var hits, misses uint64
+	if d.span && d.exclusive {
+		// Span fast path: resolve consecutive lines in one device entry —
+		// the single lock-elision check above covers the whole span. Returns
+		// the unconsumed remainder (non-empty only when a set held in-flight
+		// lines), which the per-line loop below finishes.
+		hits, misses, addr, buf = d.loadSpan(ctx, addr, buf)
+	}
 	for len(buf) > 0 {
 		lineIdx = addr >> LineShift
 		off = addr & (LineSize - 1)
@@ -118,6 +134,45 @@ func (d *Device) Load(ctx *sim.Ctx, addr uint64, buf []byte) {
 		shard.c[cCacheMisses].Add(misses)
 		shard.c[cMediaReads].Add(misses)
 	}
+}
+
+// loadSpan is the multi-line load fast path, entered only on exclusive-mode
+// devices with the span path enabled: one set lookup seeds the span
+// (consecutive lines map to consecutive sets, so the index advances
+// incrementally instead of re-running the fastmod per line), the caller's
+// lock-elision check and batched stat/cycle charges cover every line, and
+// eviction behavior is byte-identical to the per-line path (both run
+// resident). A set that holds in-flight lines ends the span: the remainder
+// is returned to the caller's per-line loop, whose fill path consults the
+// in-flight buffer.
+func (d *Device) loadSpan(ctx *sim.Ctx, addr uint64, buf []byte) (hits, misses uint64, raddr uint64, rbuf []byte) {
+	lineIdx := addr >> LineShift
+	si := d.setIndex(lineIdx)
+	for len(buf) > 0 {
+		set := &d.sets[si]
+		if len(set.inflight) != 0 {
+			break
+		}
+		off := addr & (LineSize - 1)
+		n := LineSize - off
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		l, hit := d.resident(ctx, set, lineIdx)
+		copy(buf[:n], l.data[off:off+n])
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		buf = buf[n:]
+		addr += n
+		lineIdx++
+		if si++; si == d.nset {
+			si = 0
+		}
+	}
+	return hits, misses, addr, buf
 }
 
 // Store writes data at addr through the cache (write-allocate, write-back).
@@ -151,6 +206,10 @@ func (d *Device) storeInternal(ctx *sim.Ctx, addr uint64, data []byte, pending b
 		return
 	}
 	var hits, misses uint64
+	if d.span && d.exclusive {
+		// Span fast path; see loadSpan.
+		hits, misses, addr, data = d.storeSpan(ctx, addr, data, pending)
+	}
 	for len(data) > 0 {
 		lineIdx = addr >> LineShift
 		off = addr & (LineSize - 1)
@@ -182,6 +241,43 @@ func (d *Device) storeInternal(ctx *sim.Ctx, addr uint64, data []byte, pending b
 		shard.c[cCacheMisses].Add(misses)
 		shard.c[cMediaReads].Add(misses)
 	}
+}
+
+// storeSpan is the multi-line store fast path — loadSpan's mutating twin
+// (write-allocate, identical set-index seeding, in-flight fallback and
+// eviction behavior).
+func (d *Device) storeSpan(ctx *sim.Ctx, addr uint64, data []byte, pending bool) (hits, misses uint64, raddr uint64, rdata []byte) {
+	lineIdx := addr >> LineShift
+	si := d.setIndex(lineIdx)
+	for len(data) > 0 {
+		set := &d.sets[si]
+		if len(set.inflight) != 0 {
+			break
+		}
+		off := addr & (LineSize - 1)
+		n := LineSize - off
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
+		}
+		l, hit := d.resident(ctx, set, lineIdx)
+		copy(l.data[off:off+n], data[:n])
+		l.dirty = true
+		if pending {
+			l.pending = true
+		}
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		data = data[n:]
+		addr += n
+		lineIdx++
+		if si++; si == d.nset {
+			si = 0
+		}
+	}
+	return hits, misses, addr, data
 }
 
 // Clwb initiates write-back of the line containing addr. The line becomes
@@ -268,6 +364,7 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 		for i := range set.inflight {
 			fl := &set.inflight[i]
 			copy(d.media[fl.lineIdx<<LineShift:], fl.data[:])
+			d.touchLine(fl.lineIdx)
 			if fl.pending {
 				reached = append(reached, fl.lineIdx)
 			}

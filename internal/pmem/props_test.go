@@ -3,6 +3,7 @@ package pmem
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -68,6 +69,103 @@ func TestFlushedDataAlwaysSurvives(t *testing.T) {
 	}
 	if err := quick.Check(storeProp, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSpanPathMatchesLinePath is the span fast path's bit-identity property:
+// for arbitrary op sequences — multi-line loads and stores, clwbs that leave
+// lines in flight (forcing the span bail-out), fences, relocates — a device
+// with the span path enabled must end every run with byte-identical media,
+// cache arrays, counters and charged cycles to a device walking the per-line
+// path. The tiny cache makes spans wrap the set array and evict mid-span.
+func TestSpanPathMatchesLinePath(t *testing.T) {
+	prop := func(seed int64) bool {
+		const size = 1 << 18
+		cfg := sim.DefaultConfig()
+		cfg.CacheBytes = 16 * 1024
+		cfg.CacheWays = 4
+		mk := func(span bool) (*Device, *sim.Ctx) {
+			d := NewDevice(&cfg, size)
+			d.SetExclusive(true)
+			d.SetSpanPath(span)
+			return d, sim.NewCtx(&cfg)
+		}
+		dS, ctxS := mk(true)
+		dL, ctxL := mk(false)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 400; i++ {
+			addr := uint64(rng.Intn(size - 10*LineSize))
+			n := rng.Intn(9*LineSize) + 1
+			switch rng.Intn(8) {
+			case 0, 1, 2:
+				data := make([]byte, n)
+				rng.Read(data)
+				dS.Store(ctxS, addr, data)
+				dL.Store(ctxL, addr, data)
+			case 3, 4, 5:
+				bufS := make([]byte, n)
+				bufL := make([]byte, n)
+				dS.Load(ctxS, addr, bufS)
+				dL.Load(ctxL, addr, bufL)
+				if !bytes.Equal(bufS, bufL) {
+					return false
+				}
+			case 6:
+				dS.Clwb(ctxS, addr)
+				dL.Clwb(ctxL, addr)
+			default:
+				dS.Sfence(ctxS)
+				dL.Sfence(ctxL)
+			}
+		}
+		if ctxS.Clock.Total() != ctxL.Clock.Total() {
+			return false
+		}
+		if dS.Stats() != dL.Stats() {
+			return false
+		}
+		return reflect.DeepEqual(dS.Checkpoint(), dL.Checkpoint())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReleasedMediaIsZero pins the media-pool invariant the sparse
+// checkpoints depend on: ReleaseMedia wipes every dirty page, so a device
+// built over a recycled buffer starts from the all-zero base image with an
+// empty dirty bitmap — exactly like one built over a fresh allocation.
+func TestReleasedMediaIsZero(t *testing.T) {
+	const size = 1 << 18
+	cfg := sim.DefaultConfig()
+	for round := 0; round < 4; round++ {
+		d := NewDevice(&cfg, size)
+		ctx := sim.NewCtx(&cfg)
+		if got := d.Checkpoint().CapturedBytes(); got != 0 {
+			t.Fatalf("round %d: fresh device starts with %d captured bytes, want 0", round, got)
+		}
+		rng := rand.New(rand.NewSource(int64(round)))
+		for i := 0; i < 50; i++ {
+			data := make([]byte, rng.Intn(300)+1)
+			rng.Read(data)
+			d.Store(ctx, uint64(rng.Intn(size-512)), data)
+		}
+		d.FlushAll(ctx)
+		if got := d.Checkpoint().CapturedBytes(); got == 0 {
+			t.Fatalf("round %d: flushed writes marked no pages dirty", round)
+		}
+		d.ReleaseMedia()
+		// The next NewDevice may adopt the released buffer; either way its
+		// media must read back all-zero.
+		d2 := NewDevice(&cfg, size)
+		buf := make([]byte, size)
+		d2.MediaRead(0, buf)
+		for i, b := range buf {
+			if b != 0 {
+				t.Fatalf("round %d: recycled media dirty at byte %d", round, i)
+			}
+		}
+		d2.ReleaseMedia()
 	}
 }
 

@@ -349,9 +349,9 @@ func TestAllocHookFires(t *testing.T) {
 func TestTLBChargedOnAccess(t *testing.T) {
 	_, p, ctx, tid := newTestPool(t)
 	obj, _ := p.Alloc(ctx, tid, 0)
-	before := ctx.TLB.Accesses
+	before := ctx.TLB.AccessCount()
 	p.ReadU64(ctx, obj, 0)
-	if ctx.TLB.Accesses == before {
+	if ctx.TLB.AccessCount() == before {
 		t.Error("access did not consult the TLB")
 	}
 }

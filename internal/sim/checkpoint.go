@@ -48,8 +48,11 @@ func (t *TLB) Checkpoint() *TLBCheckpoint {
 	return c
 }
 
-// CheckpointInto captures the TLB state into c, reusing c's buffers.
+// CheckpointInto captures the TLB state into c, reusing c's buffers. Any
+// deferred streak bookkeeping is materialized first so the captured arrays
+// and counters are exact.
 func (t *TLB) CheckpointInto(c *TLBCheckpoint) {
+	t.syncStreak()
 	t.l14k.checkpointInto(&c.L14K)
 	t.l12m.checkpointInto(&c.L12M)
 	t.l2.checkpointInto(&c.L2)
@@ -65,8 +68,10 @@ func (t *TLB) Restore(c *TLBCheckpoint) {
 	t.l2.restore(&c.L2)
 	t.Accesses, t.L1Misses, t.L2Misses = c.Accesses, c.L1Misses, c.L2Misses
 	// The same-page streak trusts its slot index without revalidation, so a
-	// restore (unlike the validated mruIdx/mruTag hints) must disarm it.
+	// restore (unlike the validated mruIdx/mruTag hints) must disarm it, and
+	// any deferred hits belong to the overwritten timeline — drop them.
 	t.streakMask = 0
+	t.streakLen = 0
 }
 
 // Restore overwrites the per-category counters from a Snapshot.

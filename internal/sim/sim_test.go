@@ -57,6 +57,11 @@ func TestTLBStreakFastPathBitIdentical(t *testing.T) {
 		case r == 21: // checkpoint/restore round-trip on the fast TLB only
 			fast.CheckpointInto(&chk)
 			fast.Restore(&chk)
+		case r == 22: // mid-streak counter read must include deferred hits
+			if fast.AccessCount() != ref.Accesses {
+				t.Fatalf("access %d: AccessCount = %d, reference %d",
+					i, fast.AccessCount(), ref.Accesses)
+			}
 		}
 		va := page<<shift | (rng.Uint64() & (1<<shift - 1))
 		got, want := fast.Access(va, shift), accessNoStreak(ref, va, shift)
@@ -65,9 +70,9 @@ func TestTLBStreakFastPathBitIdentical(t *testing.T) {
 				i, va, shift, got, want)
 		}
 	}
-	if fast.Accesses != ref.Accesses || fast.L1Misses != ref.L1Misses || fast.L2Misses != ref.L2Misses {
+	if fast.AccessCount() != ref.Accesses || fast.L1Misses != ref.L1Misses || fast.L2Misses != ref.L2Misses {
 		t.Fatalf("counters diverged: fast %d/%d/%d ref %d/%d/%d",
-			fast.Accesses, fast.L1Misses, fast.L2Misses, ref.Accesses, ref.L1Misses, ref.L2Misses)
+			fast.AccessCount(), fast.L1Misses, fast.L2Misses, ref.Accesses, ref.L1Misses, ref.L2Misses)
 	}
 	var a, b TLBCheckpoint
 	fast.CheckpointInto(&a)

@@ -27,13 +27,22 @@ type TLB struct {
 	// nothing else mutates the L1 arrays between Accesses — so streakIdx
 	// needs no tag revalidation, but it MUST be cleared by Flush and by a
 	// checkpoint Restore (unlike mruIdx/mruTag it is trusted, not validated).
-	// A streak hit replicates an L1 MRU hit exactly: Accesses++, tick bump,
-	// age refresh, TLB1Latency — bit-identical cycles, pinned by the goldens.
+	// A streak hit replicates an L1 MRU hit exactly — Accesses++, tick bump,
+	// age refresh, TLB1Latency — but the bookkeeping is batched in streakLen
+	// and materialized lazily; cycles stay bit-identical, pinned by the
+	// goldens and TestTLBStreakFastPathBitIdentical.
 	streakMask  uint64 // ^(pageSize-1); 0 = no streak armed
 	streakTag   uint64 // va & streakMask of the last translation
 	streakShift uint
 	streakSA    *setAssoc
 	streakIdx   int
+	// streakLen counts streak hits whose bookkeeping is deferred: a hit only
+	// bumps this counter, and syncStreak materializes the batch (Accesses,
+	// tick, age refresh) the moment anything else needs the arrays or the
+	// counters. N deferred hits materialize to the exact state N immediate
+	// hits would have left — nothing else touches the streak's set-assoc
+	// between hits — so cycles and checkpoints stay bit-identical.
+	streakLen uint64
 }
 
 // setAssoc is a small set-associative array of tags with round-robin-ish LRU.
@@ -141,13 +150,12 @@ func NewTLB(cfg *Config) *TLB {
 // Access translates virtual address va under the given page-size shift
 // (12 for 4 KB pages, 21 for 2 MB pages) and returns the cycles charged.
 func (t *TLB) Access(va uint64, pageShift uint) uint64 {
-	t.Accesses++
 	if t.streakMask != 0 && pageShift == t.streakShift && va&t.streakMask == t.streakTag {
-		sa := t.streakSA
-		sa.tick++
-		sa.age[t.streakIdx] = sa.tick
+		t.streakLen++
 		return t.cfg.TLB1Latency
 	}
+	t.syncStreak()
+	t.Accesses++
 	// Tags must be nonzero; VPN 0 would alias the invalid marker, so bias by 1.
 	vpn := (va >> pageShift) + 1
 	cycles := t.cfg.TLB1Latency
@@ -176,8 +184,28 @@ func (t *TLB) Access(va uint64, pageShift uint) uint64 {
 	return cycles
 }
 
+// syncStreak materializes the deferred streak bookkeeping. Must run before
+// anything reads or mutates the L1 arrays, the tick clocks, or Accesses —
+// i.e. on every non-streak Access, on Flush, and before a checkpoint.
+func (t *TLB) syncStreak() {
+	if t.streakLen == 0 {
+		return
+	}
+	t.Accesses += t.streakLen
+	sa := t.streakSA
+	sa.tick += uint32(t.streakLen)
+	sa.age[t.streakIdx] = sa.tick
+	t.streakLen = 0
+}
+
+// AccessCount is the total translation count including streak hits whose
+// bookkeeping is still deferred. Readers (snapshot groups, tests) must use
+// this instead of the Accesses field, which lags by the open streak.
+func (t *TLB) AccessCount() uint64 { return t.Accesses + t.streakLen }
+
 // Flush empties the whole hierarchy (e.g. on a simulated crash/restart).
 func (t *TLB) Flush() {
+	t.syncStreak()
 	t.l14k.flush()
 	t.l12m.flush()
 	t.l2.flush()

@@ -1,0 +1,114 @@
+// Package workpool is the one bounded worker pool every host-side fan-out in
+// this repo shares. The experiment driver (RunSpecs, the fork driver's
+// per-group fan-out), the fault-injection campaign (trial sweeps, repetition
+// grids) and any future driver all draw helper goroutines from the same
+// budget, so nested fan-outs — RunSpecsForked fanning a fork group out from
+// inside its per-cell fan-out, a campaign running trials from inside a
+// repetition sweep — share GOMAXPROCS slots instead of multiplying them.
+//
+// The nesting rule that makes the pool deadlock-free: the calling goroutine
+// ALWAYS participates in its own fan-out, and helpers are only taken when a
+// pool slot is free (a non-blocking acquire). An inner ForEach that finds the
+// pool exhausted simply runs serially on its caller — which already holds a
+// slot — so no fan-out ever waits on another's completion to make progress.
+//
+// Parallelism is purely a host concern: every unit of work in this repo
+// builds its own hermetic simulated machine, so the pool size changes
+// wall-clock time only, never a simulated result.
+package workpool
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu   sync.Mutex
+	size atomic.Int64
+	// tokens holds size-1 helper slots (the caller of a fan-out is the
+	// implicit size-th worker). Holding a token is the right to run one
+	// helper goroutine; helpers return their token when they run dry.
+	tokens chan struct{}
+)
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("FFCCD_PARALLEL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	SetParallelism(n)
+}
+
+// SetParallelism sets the pool size (values < 1 mean serial). It takes
+// effect for fan-outs that start afterwards; helpers already running finish
+// against the budget they were spawned under.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	size.Store(int64(n))
+	tokens = make(chan struct{}, n-1)
+	for i := 0; i < n-1; i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// Parallelism returns the current pool size.
+func Parallelism() int { return int(size.Load()) }
+
+// ForEach runs f(0..n-1), writing results into index-addressed slots so the
+// outcome is deterministic regardless of worker count, and returns the first
+// error in index order. The caller works too; helper goroutines are added
+// only while pool slots are free, so total workers across all concurrent
+// (and nested) ForEach calls never exceed Parallelism().
+func ForEach(n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			errs[i] = f(i)
+		}
+	}
+	mu.Lock()
+	ch := tokens
+	mu.Unlock()
+	var wg sync.WaitGroup
+spawn:
+	for helpers := 0; helpers < n-1; helpers++ {
+		select {
+		case <-ch:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+				ch <- struct{}{}
+			}()
+		default:
+			// Pool exhausted: the remaining iterations run on this
+			// goroutine, which already owns a slot.
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package workpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withParallelism runs body under a temporary pool size, restoring the
+// previous size afterwards (the pool is process-global).
+func withParallelism(t *testing.T, n int, body func()) {
+	t.Helper()
+	old := Parallelism()
+	SetParallelism(n)
+	defer SetParallelism(old)
+	body()
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		withParallelism(t, p, func() {
+			const n = 100
+			var hits [n]atomic.Int32
+			if err := ForEach(n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatalf("p=%d: unexpected error: %v", p, err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("p=%d: index %d ran %d times", p, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachFirstErrorInIndexOrder(t *testing.T) {
+	withParallelism(t, 4, func() {
+		want := errors.New("boom-3")
+		err := ForEach(10, func(i int) error {
+			if i == 7 {
+				return errors.New("boom-7")
+			}
+			if i == 3 {
+				return want
+			}
+			return nil
+		})
+		if err != want {
+			t.Fatalf("got %v, want the index-3 error", err)
+		}
+	})
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(0, func(int) error { return fmt.Errorf("ran") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := ForEach(-5, func(int) error { return fmt.Errorf("ran") }); err != nil {
+		t.Fatalf("n<0: %v", err)
+	}
+}
+
+// TestNestedForEachRespectsBudget is the pool's reason to exist: an outer
+// fan-out whose workers each start an inner fan-out must never run more
+// than Parallelism() units at once, and must not deadlock.
+func TestNestedForEachRespectsBudget(t *testing.T) {
+	const p = 3
+	withParallelism(t, p, func() {
+		var cur, peak atomic.Int32
+		unit := func() {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+		}
+		err := ForEach(4, func(int) error {
+			return ForEach(4, func(int) error {
+				unit()
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatalf("nested ForEach: %v", err)
+		}
+		if got := peak.Load(); got > p {
+			t.Fatalf("peak concurrency %d exceeds pool size %d", got, p)
+		}
+	})
+}
+
+func TestSerialPoolRunsInline(t *testing.T) {
+	withParallelism(t, 1, func() {
+		var mu sync.Mutex
+		order := make([]int, 0, 5)
+		if err := ForEach(5, func(i int) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("serial pool ran out of order: %v", order)
+			}
+		}
+	})
+}

@@ -1,19 +1,16 @@
 #!/bin/sh
-# bench.sh — produce the machine-readable host-performance record BENCH_3.json.
+# bench.sh — produce the machine-readable host-performance record BENCH_4.json.
 #
 # Runs the Figure 5/14 drivers (the heaviest experiment fan-outs) with the
-# checkpoint/fork driver on and off, recording host seconds, the fork
-# counters (prefixes built, checkpoints taken, runs forked from them), and
-# total simulated cycles for each. The simulated numbers must be identical
-# across every row — fork and parallelism change wall-clock only; the golden
-# test pins this. Each configuration repeats (-repeat) so the file carries
-# host-time variance instead of duplicating near-identical experiment lines.
-#
-# The final two rows re-run fig14 (fork on) with tracing enabled: once with
-# a full Chrome trace and once in flight-recorder ring mode. Comparing their
-# host_seconds against the tracing-disabled fig14 fork rows is the recorded
-# evidence for the observability overhead claims (disabled: the rows above
-# never install a collector, so they ARE the disabled-overhead measurement).
+# span-aware device fast path off and on (fork driver on, its production
+# setting), recording host seconds, the fork counters, and the dirty-page
+# checkpoint volumes (fork_checkpoint_bytes vs fork_media_bytes — their ratio
+# is the sparse-checkpoint win). A fig14 row with the fork driver off keeps
+# the fork-vs-scratch comparison BENCH_3.json tracked. The simulated numbers
+# must be identical across every row — span, fork and parallelism change
+# wall-clock only; the golden test pins this. Each configuration repeats
+# (-repeat) so the file carries host-time variance instead of duplicating
+# near-identical experiment lines.
 #
 # Usage: scripts/bench.sh [scale] [repeat]   (defaults 0.002 and 2)
 set -eu
@@ -21,26 +18,23 @@ cd "$(dirname "$0")/.."
 
 SCALE="${1:-0.002}"
 REPEAT="${2:-2}"
-OUT="BENCH_3.json"
+OUT="BENCH_4.json"
 
 go build -o /tmp/ffccd-bench ./cmd/ffccd-bench
 
-/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -fork=false -repeat "$REPEAT" -json /tmp/bench_fig5_nofork.json >/dev/null
-/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -fork=true -repeat "$REPEAT" -json /tmp/bench_fig5_fork.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT" -json /tmp/bench_fig14_nofork.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=true -repeat "$REPEAT" -json /tmp/bench_fig14_fork.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=true -repeat "$REPEAT" \
-  -trace /tmp/bench_fig14.trace.json -json /tmp/bench_fig14_trace.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -fork=true -repeat "$REPEAT" \
-  -trace /tmp/bench_fig14.ring.json -trace-ring 256 -json /tmp/bench_fig14_ring.json >/dev/null
+/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -span=false -repeat "$REPEAT" -json /tmp/bench_fig5_nospan.json >/dev/null
+/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -span=true -repeat "$REPEAT" -json /tmp/bench_fig5_span.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -span=false -repeat "$REPEAT" -json /tmp/bench_fig14_nospan.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -span=true -repeat "$REPEAT" -json /tmp/bench_fig14_span.json >/dev/null
+/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -span=true -fork=false -repeat "$REPEAT" -json /tmp/bench_fig14_nofork.json >/dev/null
 
 # Merge the per-configuration record arrays into one file.
 {
   printf '[\n'
   first=1
-  for f in /tmp/bench_fig5_nofork.json /tmp/bench_fig5_fork.json \
-           /tmp/bench_fig14_nofork.json /tmp/bench_fig14_fork.json \
-           /tmp/bench_fig14_trace.json /tmp/bench_fig14_ring.json; do
+  for f in /tmp/bench_fig5_nospan.json /tmp/bench_fig5_span.json \
+           /tmp/bench_fig14_nospan.json /tmp/bench_fig14_span.json \
+           /tmp/bench_fig14_nofork.json; do
     [ "$first" = 1 ] || printf ',\n'
     first=0
     sed '1d;$d' "$f"
