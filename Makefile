@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchdiff golden crashmatrix clean
+.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff golden crashmatrix clean
 
 all: check
 
@@ -33,17 +33,25 @@ crashmatrix: build
 		-nested -max-nested 4 -timeout 2m
 
 # check is the full CI target: gofmt + vet + race-detector short tests +
-# full tests + the reduced crash-schedule matrix + the measurement smoke.
-check: fmt vet race test crashmatrix benchsmoke
+# full tests + the reduced crash-schedule matrix + the measurement smoke +
+# the multicore scaling gate.
+check: fmt vet race test crashmatrix benchsmoke benchscale
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
 # bench-host produces the machine-readable host-performance record
-# BENCH_4.json (see scripts/bench.sh and README.md).
+# BENCH_5.json (see scripts/bench.sh and README.md). The paper-scale rows
+# run for hours; FFCCD_BENCH_PAPER=0 scripts/bench.sh skips them.
 bench-host:
 	scripts/bench.sh
+
+# benchscale is the multicore scaling gate: fig5 under FFCCD_PARALLEL=1 vs
+# =GOMAXPROCS must show a parallel speedup (work-stealing pool regression
+# check). Skips cleanly on single-core hosts.
+benchscale: build
+	scripts/benchscale.sh
 
 # benchsmoke is the fast CI pass over the measurement tooling: the device
 # micro-benchmarks run once each (-benchtime=1x), and the bench CLI runs a

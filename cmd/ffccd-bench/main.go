@@ -34,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -46,24 +47,35 @@ import (
 // metrics the experiment exposes. Simulated numbers must be identical across
 // revisions (see the golden test); host_seconds is the number being tracked.
 type benchRecord struct {
-	Experiment  string  `json:"experiment"`
-	Scale       float64 `json:"scale"`
-	Parallel    int     `json:"parallel"`
-	Fork        bool    `json:"fork"`
-	Span        bool    `json:"span"`
-	HostSeconds float64 `json:"host_seconds"`
-	Repeat      int     `json:"repeat,omitempty"`
+	Experiment string  `json:"experiment"`
+	Scale      float64 `json:"scale"`
+	Parallel   int     `json:"parallel"`
+	// HostCores and FFCCDParallel pin the host context every row was
+	// measured under: the machine's logical CPU count and the effective
+	// worker-pool size (FFCCD_PARALLEL / -parallel resolved). Scaling
+	// comparisons across rows are meaningless without both.
+	HostCores     int     `json:"host_cores"`
+	FFCCDParallel int     `json:"ffccd_parallel"`
+	Fork          bool    `json:"fork"`
+	Span          bool    `json:"span"`
+	HostSeconds   float64 `json:"host_seconds"`
+	Repeat        int     `json:"repeat,omitempty"`
 	// Fork-driver counters for this experiment (zero when -fork=false or
 	// the experiment has no scheme groups to share a prefix across).
 	// fork_checkpoint_bytes is what the dirty-page checkpoints actually
 	// captured; fork_media_bytes what full-image copies of the same devices
 	// would have moved — their ratio is the sparse-checkpoint win.
-	ForkPrefixes        uint64             `json:"fork_prefixes,omitempty"`
-	ForkCheckpoints     uint64             `json:"fork_checkpoints,omitempty"`
-	ForkRuns            uint64             `json:"fork_runs,omitempty"`
-	ForkCheckpointBytes uint64             `json:"fork_checkpoint_bytes,omitempty"`
-	ForkMediaBytes      uint64             `json:"fork_media_bytes,omitempty"`
-	Metrics             map[string]float64 `json:"metrics,omitempty"`
+	ForkPrefixes        uint64 `json:"fork_prefixes,omitempty"`
+	ForkCheckpoints     uint64 `json:"fork_checkpoints,omitempty"`
+	ForkRuns            uint64 `json:"fork_runs,omitempty"`
+	ForkCheckpointBytes uint64 `json:"fork_checkpoint_bytes,omitempty"`
+	ForkMediaBytes      uint64 `json:"fork_media_bytes,omitempty"`
+	// fork_restore_seconds: cumulative host time forked runs spent
+	// restoring machines from checkpoints. With the counter-based workload
+	// RNG this is constant in scale (O(1) draw repositioning), where the
+	// old draw-and-discard skip grew linearly with the prefix length.
+	ForkRestoreSeconds float64            `json:"fork_restore_seconds,omitempty"`
+	Metrics            map[string]float64 `json:"metrics,omitempty"`
 	// TraceMode records whether observability collection was on for this
 	// repetition ("full" or "ring"); absent means tracing disabled, i.e.
 	// the row measures the zero-overhead-when-disabled configuration.
@@ -76,7 +88,7 @@ type benchRecord struct {
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or 'all')")
-	scale := flag.Float64("scale", 0.002, "workload scale relative to the paper's 5M-insert setup")
+	scaleArg := flag.String("scale", "0.002", "workload scale relative to the paper's 5M-insert setup ('paper' = 1.0)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "experiment-driver worker count (0 = GOMAXPROCS or $FFCCD_PARALLEL)")
@@ -90,6 +102,13 @@ func main() {
 	traceRing := flag.Int("trace-ring", 0, "flight-recorder mode: keep only the newest N events per simulated thread (0 = full trace)")
 	httpObs := flag.String("httpobs", "", "serve expvar metrics (/debug/vars) and pprof (/debug/pprof) on this address while experiments run")
 	flag.Parse()
+
+	scaleVal, err := parseScale(*scaleArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-scale: %v\n", err)
+		os.Exit(2)
+	}
+	scale := &scaleVal
 
 	if *parallel > 0 {
 		experiments.SetParallelism(*parallel)
@@ -187,18 +206,21 @@ func main() {
 			elapsed := time.Since(start).Seconds()
 			fmt.Printf("==== %s (scale %g, %.1fs) ====\n%s\n", e.id, *scale, elapsed, out)
 			rec := benchRecord{
-				Experiment:  e.id,
-				Scale:       *scale,
-				Parallel:    experiments.Parallelism(),
-				Fork:        experiments.ForkEnabled(),
-				Span:        *span,
-				HostSeconds: elapsed,
+				Experiment:    e.id,
+				Scale:         *scale,
+				Parallel:      experiments.Parallelism(),
+				HostCores:     runtime.NumCPU(),
+				FFCCDParallel: experiments.Parallelism(),
+				Fork:          experiments.ForkEnabled(),
+				Span:          *span,
+				HostSeconds:   elapsed,
 			}
 			if *repeat > 1 {
 				rec.Repeat = rep
 			}
 			rec.ForkPrefixes, rec.ForkCheckpoints, rec.ForkRuns = experiments.ForkCounters()
 			rec.ForkCheckpointBytes, rec.ForkMediaBytes = experiments.ForkCheckpointBytes()
+			rec.ForkRestoreSeconds = experiments.ForkRestoreSeconds()
 			if m, ok := out.(interface{ Metrics() map[string]float64 }); ok {
 				rec.Metrics = m.Metrics()
 			}
@@ -271,6 +293,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseScale resolves the -scale argument: a float, or the shorthand
+// "paper" for 1.0 (the paper's full 5M-insert setup).
+func parseScale(s string) (float64, error) {
+	if s == "paper" {
+		return 1.0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("want a positive number or 'paper', got %q", s)
+	}
+	return v, nil
 }
 
 type str string

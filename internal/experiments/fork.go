@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/arch"
@@ -68,6 +69,14 @@ var (
 	// dirty-line checkpointing win reported in BENCH_4.json.
 	forkCapturedBytes atomic.Uint64
 	forkMediaBytes    atomic.Uint64
+
+	// forkRestoreNanos sums the host time each forked run spent
+	// materializing its machine from the checkpoint — device/heap/context
+	// restore plus ResumeRunner's RNG repositioning. With the counter-based
+	// workload source the RNG part is O(1), so this stays flat as scale
+	// (and therefore the checkpointed draw count) grows; the old
+	// draw-and-discard skip made it linear in scale.
+	forkRestoreNanos atomic.Uint64
 )
 
 // ForkCounters returns (prefixes built, checkpoints taken, forked runs).
@@ -82,6 +91,12 @@ func ForkCheckpointBytes() (captured, fullMedia uint64) {
 	return forkCapturedBytes.Load(), forkMediaBytes.Load()
 }
 
+// ForkRestoreSeconds returns the cumulative host time forked runs spent
+// restoring machines from checkpoints (including runner/RNG repositioning).
+func ForkRestoreSeconds() float64 {
+	return float64(forkRestoreNanos.Load()) / 1e9
+}
+
 // ResetForkCounters zeroes the fork-driver counters.
 func ResetForkCounters() {
 	forkPrefixes.Store(0)
@@ -89,6 +104,7 @@ func ResetForkCounters() {
 	forkRuns.Store(0)
 	forkCapturedBytes.Store(0)
 	forkMediaBytes.Store(0)
+	forkRestoreNanos.Store(0)
 }
 
 // machineCheckpoint captures the whole simulated machine at a candidate
@@ -254,6 +270,7 @@ func runFork(pre *prefixState, spec Spec) (Outcome, error) {
 	forkRuns.Add(1)
 	wl := wlFor(spec)
 
+	restoreStart := time.Now()
 	cfg := sim.DefaultConfig()
 	reg := pmop.NewRegistry()
 	ds.RegisterTypes(reg)
@@ -313,6 +330,7 @@ func runFork(pre *prefixState, spec Spec) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	forkRestoreNanos.Add(uint64(time.Since(restoreStart).Nanoseconds()))
 	res, finished, err := r.Run()
 	if err != nil {
 		return Outcome{}, err

@@ -3,6 +3,7 @@ package pmop
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // TypeID identifies a registered object type. It is stored in every object
@@ -33,13 +34,33 @@ type TypeInfo struct {
 	PtrOffsets []uint64 // payload offsets of pointer fields (KindFixed)
 }
 
+// frozenTypes is an immutable compiled view of a registry: a dense slice
+// indexed directly by TypeID plus a name index. Once published it is never
+// mutated — re-registration after a freeze builds and republishes a fresh
+// copy — so readers need no lock: Lookup is one atomic pointer load plus a
+// bounds-checked slice load.
+type frozenTypes struct {
+	byID   []*TypeInfo // index = TypeID; index 0 is nil (ids start at 1)
+	byName map[string]*TypeInfo
+}
+
 // Registry maps type ids to layouts. Like C type declarations it is volatile
 // and re-registered by application code on every run.
+//
+// Registries have two phases. During registration (NewRegistry until Freeze)
+// lookups take an RWMutex over the builder maps. Freeze — called once type
+// registration is complete, e.g. after ds.RegisterTypes/kv.RegisterTypes —
+// compiles the registry into an immutable frozenTypes snapshot read
+// lock-free; Register after Freeze still works (idempotent re-registration
+// across runs) by copying-on-write and republishing the snapshot under the
+// writer lock, so concurrent Lookups always see a complete view.
 type Registry struct {
 	mu     sync.RWMutex
 	byID   map[TypeID]*TypeInfo
 	byName map[string]*TypeInfo
 	next   TypeID
+
+	frozen atomic.Pointer[frozenTypes]
 }
 
 // NewRegistry returns an empty registry.
@@ -49,6 +70,35 @@ func NewRegistry() *Registry {
 		byName: make(map[string]*TypeInfo),
 		next:   1,
 	}
+}
+
+// Freeze compiles the registry into its immutable lock-free form. Call it
+// once after the initial RegisterTypes batch; later Registers republish the
+// compiled form automatically. Freeze is idempotent.
+func (r *Registry) Freeze() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.republish()
+}
+
+// Frozen reports whether the registry has been compiled for lock-free
+// lookup.
+func (r *Registry) Frozen() bool { return r.frozen.Load() != nil }
+
+// republish rebuilds the frozen snapshot from the builder maps. Caller holds
+// r.mu.
+func (r *Registry) republish() {
+	f := &frozenTypes{
+		byID:   make([]*TypeInfo, r.next),
+		byName: make(map[string]*TypeInfo, len(r.byName)),
+	}
+	for id, t := range r.byID {
+		f.byID[id] = t
+	}
+	for name, t := range r.byName {
+		f.byName[name] = t
+	}
+	r.frozen.Store(f)
 }
 
 // Register adds a type and assigns its id. Registering the same name twice
@@ -72,11 +122,26 @@ func (r *Registry) Register(info TypeInfo) TypeID {
 	r.next++
 	r.byID[t.ID] = &t
 	r.byName[t.Name] = &t
+	if r.frozen.Load() != nil {
+		// Already frozen: copy-on-write — republish a fresh snapshot so
+		// in-flight lock-free Lookups keep reading the old complete view.
+		r.republish()
+	}
 	return t.ID
 }
 
-// Lookup returns the type for id.
+// Lookup returns the type for id. On a frozen registry this is lock-free:
+// one atomic load plus a bounds-checked slice index (the Alloc/mark hot
+// path).
 func (r *Registry) Lookup(id TypeID) (*TypeInfo, bool) {
+	if f := r.frozen.Load(); f != nil {
+		if uint64(id) < uint64(len(f.byID)) {
+			if t := f.byID[id]; t != nil {
+				return t, true
+			}
+		}
+		return nil, false
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	t, ok := r.byID[id]
@@ -85,6 +150,10 @@ func (r *Registry) Lookup(id TypeID) (*TypeInfo, bool) {
 
 // LookupName returns the type registered under name.
 func (r *Registry) LookupName(name string) (*TypeInfo, bool) {
+	if f := r.frozen.Load(); f != nil {
+		t, ok := f.byName[name]
+		return t, ok
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	t, ok := r.byName[name]

@@ -1,0 +1,171 @@
+package pmop
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFreezeLookup pins that freezing compiles the registry without changing
+// any lookup answer, in both directions (id and name), including misses.
+func TestFreezeLookup(t *testing.T) {
+	reg := NewRegistry()
+	idA := reg.Register(TypeInfo{Name: "a", Kind: KindFixed, Size: 16, PtrOffsets: []uint64{8}})
+	idB := reg.Register(TypeInfo{Name: "b", Kind: KindBytes})
+	if reg.Frozen() {
+		t.Fatal("registry frozen before Freeze")
+	}
+	reg.Freeze()
+	if !reg.Frozen() {
+		t.Fatal("Freeze did not freeze")
+	}
+	for _, id := range []TypeID{idA, idB} {
+		ti, ok := reg.Lookup(id)
+		if !ok || ti.ID != id {
+			t.Fatalf("post-freeze Lookup(%d) = %v, %v", id, ti, ok)
+		}
+	}
+	if ti, ok := reg.LookupName("a"); !ok || ti.ID != idA {
+		t.Fatalf("post-freeze LookupName(a) = %v, %v", ti, ok)
+	}
+	if _, ok := reg.Lookup(999); ok {
+		t.Fatal("post-freeze Lookup of unregistered id succeeded")
+	}
+	if _, ok := reg.Lookup(0); ok {
+		t.Fatal("post-freeze Lookup(0) succeeded — id 0 is never assigned")
+	}
+	if _, ok := reg.LookupName("ghost"); ok {
+		t.Fatal("post-freeze LookupName of unregistered name succeeded")
+	}
+	// Freeze is idempotent.
+	reg.Freeze()
+	if ti, ok := reg.Lookup(idA); !ok || ti.Name != "a" {
+		t.Fatalf("double Freeze broke Lookup: %v, %v", ti, ok)
+	}
+}
+
+// TestRegisterAfterFreeze covers the copy-on-write re-registration path: the
+// id space keeps growing, re-registering an existing name stays idempotent
+// (same id back, no republished duplicate), and every pre-freeze type stays
+// visible.
+func TestRegisterAfterFreeze(t *testing.T) {
+	reg := NewRegistry()
+	idA := reg.Register(TypeInfo{Name: "a", Kind: KindBytes})
+	reg.Freeze()
+
+	// New type after freeze: republished, immediately visible.
+	idC := reg.Register(TypeInfo{Name: "c", Kind: KindFixed, Size: 8, PtrOffsets: []uint64{0}})
+	if idC == idA {
+		t.Fatalf("post-freeze Register reused id %d", idC)
+	}
+	if ti, ok := reg.Lookup(idC); !ok || ti.Name != "c" {
+		t.Fatalf("post-freeze type not visible: %v, %v", ti, ok)
+	}
+
+	// Idempotent re-registration (the re-attach path: application code
+	// re-runs its RegisterTypes batch against an already-frozen registry).
+	if again := reg.Register(TypeInfo{Name: "a", Kind: KindBytes}); again != idA {
+		t.Fatalf("re-registering a = id %d, want %d", again, idA)
+	}
+	if again := reg.Register(TypeInfo{Name: "c", Kind: KindBytes}); again != idC {
+		t.Fatalf("re-registering c = id %d, want %d", again, idC)
+	}
+	// Old types still resolve after the republish.
+	if ti, ok := reg.Lookup(idA); !ok || ti.Name != "a" {
+		t.Fatalf("pre-freeze type lost after republish: %v, %v", ti, ok)
+	}
+}
+
+// TestRegisterBadOffsetPanicsAfterFreeze keeps the offset validation panic on
+// the post-freeze path (it must fire before any republish).
+func TestRegisterBadOffsetPanicsAfterFreeze(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(TypeInfo{Name: "ok", Kind: KindBytes})
+	reg.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with misaligned pointer offset did not panic")
+		}
+		// The failed Register must not have corrupted the frozen view.
+		if _, ok := reg.LookupName("bad"); ok {
+			t.Fatal("panicking Register published the bad type")
+		}
+	}()
+	reg.Register(TypeInfo{Name: "bad", Kind: KindFixed, Size: 16, PtrOffsets: []uint64{3}})
+}
+
+// TestConcurrentLookupDuringRegister hammers lock-free Lookups while another
+// goroutine keeps registering new types and re-registering old ones against
+// a frozen registry. Run under -race this pins the copy-on-write publication
+// protocol: readers must always see a complete, immutable snapshot.
+func TestConcurrentLookupDuringRegister(t *testing.T) {
+	reg := NewRegistry()
+	base := reg.Register(TypeInfo{Name: "base", Kind: KindFixed, Size: 24, PtrOffsets: []uint64{8, 16}})
+	reg.Freeze()
+
+	const writers = 2
+	const readers = 4
+	const perWriter = 200
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				reg.Register(TypeInfo{Name: fmt.Sprintf("t%d-%d", w, i), Kind: KindBytes})
+				// Idempotent re-registration interleaved with growth.
+				if got := reg.Register(TypeInfo{Name: "base", Kind: KindBytes}); got != base {
+					t.Errorf("concurrent re-register of base = %d, want %d", got, base)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ti, ok := reg.Lookup(base)
+				if !ok || ti.Name != "base" || len(ti.PtrOffsets) != 2 {
+					t.Errorf("Lookup(base) during Register = %v, %v", ti, ok)
+					return
+				}
+				if ti2, ok := reg.LookupName("base"); !ok || ti2.ID != base {
+					t.Errorf("LookupName(base) during Register = %v, %v", ti2, ok)
+					return
+				}
+				// Misses must stay clean misses, never a torn read.
+				if _, ok := reg.Lookup(TypeID(1 + writers*(perWriter+1) + 50)); ok {
+					t.Error("Lookup of never-registered id succeeded mid-publication")
+					return
+				}
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// Every registered type resolves afterwards.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			name := fmt.Sprintf("t%d-%d", w, i)
+			ti, ok := reg.LookupName(name)
+			if !ok {
+				t.Fatalf("type %s lost", name)
+			}
+			if got, ok := reg.Lookup(ti.ID); !ok || got.Name != name {
+				t.Fatalf("Lookup(%d) = %v, %v; want %s", ti.ID, got, ok, name)
+			}
+		}
+	}
+}

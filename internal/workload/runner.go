@@ -9,45 +9,61 @@ import (
 	"ffccd/internal/sim"
 )
 
-// countingSource wraps math/rand's default source and counts state
-// advances. Every Int63/Uint64 call steps the underlying generator exactly
-// once, so a checkpointed draw count can be replayed onto a fresh source of
-// the same seed to reproduce the stream position bit-identically — without
-// serializing the generator's internal state (which math/rand does not
-// expose). The workload's randomness is golden-pinned, so the generator
-// algorithm itself must not change.
-type countingSource struct {
-	src   rand.Source64
+// counterSource is a counter-based (SplitMix64-style) random source: draw i
+// of stream seed is the pure function mix64(base(seed) + (i+1)·γ). The
+// generator's whole state is (seed, draws), so a checkpointed stream
+// position restores in O(1) — set draws — where the previous wrapped
+// math/rand source had to replay draw-and-discard, making forked resume
+// O(draws). Every Int63/Uint64 call advances the counter exactly once, so
+// draw counts keep meaning "state advances", as the checkpoint format
+// requires. The workload's randomness is golden-pinned
+// (testdata/golden_cycles.json was regenerated when this generator replaced
+// the math/rand one), so the mixing function must not change.
+type counterSource struct {
+	base  uint64 // seed-derived stream offset
 	draws uint64
 }
 
-func newCountingSource(seed int64) *countingSource {
-	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+// sm64Gamma is the SplitMix64 Weyl-sequence increment (odd, ≈2⁶⁴/φ).
+const sm64Gamma = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 output permutation (Steele, Lea & Flood 2014) —
+// a bijective avalanche over the counter sequence.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
 }
 
-func (s *countingSource) Int63() int64 {
+func newCountingSource(seed int64) *counterSource {
+	s := &counterSource{}
+	s.Seed(seed)
+	return s
+}
+
+func (s *counterSource) Uint64() uint64 {
 	s.draws++
-	return s.src.Int63()
+	return mix64(s.base + s.draws*sm64Gamma)
 }
 
-func (s *countingSource) Uint64() uint64 {
-	s.draws++
-	return s.src.Uint64()
+func (s *counterSource) Int63() int64 {
+	return int64(s.Uint64() >> 1)
 }
 
-func (s *countingSource) Seed(seed int64) {
-	s.src.Seed(seed)
+func (s *counterSource) Seed(seed int64) {
+	// Scramble the seed so the adjacent seeds the drivers hand out
+	// (seed, seed+1, tid·101, …) select unrelated streams rather than
+	// shifted copies of one Weyl sequence.
+	s.base = mix64(uint64(seed) ^ 0xFF51AFD7ED558CCD)
 	s.draws = 0
 }
 
-// skip advances the source by n draws (Int63 and Uint64 step the generator
-// identically).
-func (s *countingSource) skip(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		s.src.Uint64()
-	}
-	s.draws = n
-}
+// skip positions the source exactly n draws into its stream. O(1): the
+// counter is the state.
+func (s *counterSource) skip(n uint64) { s.draws = n }
 
 // runnerStage is the Runner's position within one loop iteration.
 type runnerStage int
@@ -82,7 +98,7 @@ type Runner struct {
 	s   ds.Store
 	cfg Config
 
-	src *countingSource
+	src *counterSource
 	rng *rand.Rand
 
 	live     []uint64
@@ -297,7 +313,7 @@ func (r *Runner) Run() (Result, bool, error) {
 }
 
 // RunnerCheckpoint is a deep copy of a runner's position and accumulators.
-// The RNG is captured as its draw count (see countingSource).
+// The RNG is captured as its draw count (see counterSource: the draw counter is the full generator state, so restore is O(1)).
 type RunnerCheckpoint struct {
 	Live     []uint64
 	NextKey  uint64

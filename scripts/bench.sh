@@ -1,45 +1,76 @@
 #!/bin/sh
-# bench.sh — produce the machine-readable host-performance record BENCH_4.json.
+# bench.sh — produce the machine-readable host-performance record BENCH_5.json.
 #
-# Runs the Figure 5/14 drivers (the heaviest experiment fan-outs) with the
-# span-aware device fast path off and on (fork driver on, its production
-# setting), recording host seconds, the fork counters, and the dirty-page
-# checkpoint volumes (fork_checkpoint_bytes vs fork_media_bytes — their ratio
-# is the sparse-checkpoint win). A fig14 row with the fork driver off keeps
-# the fork-vs-scratch comparison BENCH_3.json tracked. The simulated numbers
-# must be identical across every row — span, fork and parallelism change
-# wall-clock only; the golden test pins this. Each configuration repeats
-# (-repeat) so the file carries host-time variance instead of duplicating
-# near-identical experiment lines.
+# Three row families, all over the Figure 5/14 drivers (the heaviest
+# experiment fan-outs), every row carrying host_cores and ffccd_parallel so
+# scaling comparisons stay interpretable away from the machine they ran on:
 #
-# Usage: scripts/bench.sh [scale] [repeat]   (defaults 0.002 and 2)
+#   1. Baseline rows at the working scale (span/fork on, their production
+#      setting), plus a fig14 fork=off row to keep the fork-vs-scratch
+#      comparison BENCH_3.json started tracked.
+#   2. Per-core scaling rows: fig5 under FFCCD_PARALLEL=1/2/4/8 (the env
+#      path, not -parallel, so the override plumbing is exercised too).
+#   3. Paper-scale rows: fig5 and fig14 at -scale paper (1.0, the paper's
+#      full 5M-insert setup). Hours of wall-clock on a small host — skip
+#      with FFCCD_BENCH_PAPER=0.
+#
+# The simulated numbers must be identical across every row of the same
+# experiment+scale — span, fork and parallelism change wall-clock only; the
+# golden test pins this, and sim_cycles_total in each row's metrics lets the
+# file itself be checked. Each configuration repeats (-repeat) so the file
+# carries host-time variance instead of duplicating near-identical lines.
+#
+# Usage: scripts/bench.sh [scale] [repeat]   (defaults 0.002 and 2;
+#        scale is passed straight through to -scale, so 'paper' works)
 set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-0.002}"
 REPEAT="${2:-2}"
-OUT="BENCH_4.json"
+PAPER="${FFCCD_BENCH_PAPER:-1}"
+OUT="BENCH_5.json"
+TMP="${TMPDIR:-/tmp}"
 
-go build -o /tmp/ffccd-bench ./cmd/ffccd-bench
+go build -o "$TMP/ffccd-bench" ./cmd/ffccd-bench
 
-/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -span=false -repeat "$REPEAT" -json /tmp/bench_fig5_nospan.json >/dev/null
-/tmp/ffccd-bench -experiment fig5 -scale "$SCALE" -span=true -repeat "$REPEAT" -json /tmp/bench_fig5_span.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -span=false -repeat "$REPEAT" -json /tmp/bench_fig14_nospan.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -span=true -repeat "$REPEAT" -json /tmp/bench_fig14_span.json >/dev/null
-/tmp/ffccd-bench -experiment fig14 -scale "$SCALE" -span=true -fork=false -repeat "$REPEAT" -json /tmp/bench_fig14_nofork.json >/dev/null
+parts=""
+
+run() { # run <outfile> [ffccd-bench args...]
+	f="$TMP/$1"
+	shift
+	"$TMP/ffccd-bench" -json "$f" "$@" >/dev/null
+	parts="$parts $f"
+}
+
+# 1. Baseline rows at the working scale.
+run bench5_fig5.json -experiment fig5 -scale "$SCALE" -repeat "$REPEAT"
+run bench5_fig14.json -experiment fig14 -scale "$SCALE" -repeat "$REPEAT"
+run bench5_fig14_nofork.json -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT"
+
+# 2. Per-core scaling rows (env-var path on purpose).
+for P in 1 2 4 8; do
+	f="$TMP/bench5_fig5_p$P.json"
+	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
+		-experiment fig5 -scale "$SCALE" -repeat "$REPEAT" >/dev/null
+	parts="$parts $f"
+done
+
+# 3. Paper-scale rows (scale 1.0; a single repetition — these run for hours).
+if [ "$PAPER" = 1 ]; then
+	run bench5_fig5_paper.json -experiment fig5 -scale paper
+	run bench5_fig14_paper.json -experiment fig14 -scale paper
+fi
 
 # Merge the per-configuration record arrays into one file.
 {
-  printf '[\n'
-  first=1
-  for f in /tmp/bench_fig5_nospan.json /tmp/bench_fig5_span.json \
-           /tmp/bench_fig14_nospan.json /tmp/bench_fig14_span.json \
-           /tmp/bench_fig14_nofork.json; do
-    [ "$first" = 1 ] || printf ',\n'
-    first=0
-    sed '1d;$d' "$f"
-  done
-  printf '\n]\n'
+	printf '[\n'
+	first=1
+	for f in $parts; do
+		[ "$first" = 1 ] || printf ',\n'
+		first=0
+		sed '1d;$d' "$f"
+	done
+	printf '\n]\n'
 } >"$OUT"
 
 echo "wrote $OUT:"
