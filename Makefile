@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff golden crashmatrix clean
+.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff servesmoke golden crashmatrix clean
 
 all: check
 
@@ -34,15 +34,15 @@ crashmatrix: build
 
 # check is the full CI target: gofmt + vet + race-detector short tests +
 # full tests + the reduced crash-schedule matrix + the measurement smoke +
-# the multicore scaling gate.
-check: fmt vet race test crashmatrix benchsmoke benchscale
+# the serving-layer smoke + the multicore scaling gate.
+check: fmt vet race test crashmatrix benchsmoke servesmoke benchscale
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
 # bench-host produces the machine-readable host-performance record
-# BENCH_5.json (see scripts/bench.sh and README.md). The paper-scale rows
+# BENCH_6.json (see scripts/bench.sh and README.md). The paper-scale rows
 # run for hours; FFCCD_BENCH_PAPER=0 scripts/bench.sh skips them.
 bench-host:
 	scripts/bench.sh
@@ -62,6 +62,15 @@ benchsmoke: build
 	$(GO) run ./cmd/ffccd-bench -experiment fig5 -scale 0.0005 -span=false -json /tmp/ffccd_benchsmoke.json >/dev/null
 	$(GO) run ./cmd/ffccd-bench -experiment fig5 -scale 0.0005 -span=true -json /tmp/ffccd_benchsmoke.json >/dev/null
 	@echo "benchsmoke OK"
+
+# servesmoke is the fast CI pass over the open-loop serving layer: a tiny
+# FFCCD-vs-STW grid through the ffccd-redis serve mode (exercising the
+# virtual-time scheduler, batched dispatch, and the SLO table), plus the
+# host-parallelism determinism pin from the test suite.
+servesmoke: build
+	$(GO) run ./cmd/ffccd-redis -clients 8 -ops 20000 -keys 2000 -scheme all >/dev/null
+	$(GO) test ./internal/redisws/ -run 'TestServeDeterministicAcrossHostParallelism|TestServeShape' >/dev/null
+	@echo "servesmoke OK"
 
 # benchdiff compares two `go test -bench` outputs with benchstat, e.g.
 #   make bench > old.txt; <changes>; make bench > new.txt

@@ -167,6 +167,10 @@ func main() {
 		{"table4", func() (fmt.Stringer, error) { r, err := experiments.Table4(*scale); return r, err }},
 		{"fig15", func() (fmt.Stringer, error) { r, err := experiments.Figure15(*scale); return r, err }},
 		{"fig16", func() (fmt.Stringer, error) { r, err := experiments.Figure16(*scale); return r, err }},
+		{"serving", func() (fmt.Stringer, error) {
+			r, err := experiments.Serving(experiments.ServingOptions{Scale: *scale})
+			return r, err
+		}},
 		{"ablation-rbb", func() (fmt.Stringer, error) {
 			r, err := experiments.AblationRBB(*scale, []int{1, 4, 8, 32})
 			return r, err

@@ -1,8 +1,19 @@
-// ffccd-redis runs the §7.4 Redis case study and prints the Figure 16
-// footprint-over-time series and tail-latency comparison for the PMDK
-// baseline, FFCCD, a stop-the-world compactor, and Mesh.
+// ffccd-redis runs the §7.4 Redis case study in one of two modes.
+//
+// The default (closed-loop) mode prints the Figure 16 footprint-over-time
+// series and tail-latency comparison for the PMDK baseline, FFCCD, a
+// stop-the-world compactor, and Mesh:
 //
 //	ffccd-redis -scale 0.002
+//
+// With -clients the serving mode runs instead: an open-loop multi-client
+// simulation (Poisson arrivals, Zipfian keys) against one machine per
+// scheme, reporting SLO percentiles (p50/p99/p999) decomposed into app,
+// barrier-interference, STW-stall, and queueing cycles:
+//
+//	ffccd-redis -clients 32 -rate 0 -scheme all        # rate 0 auto-calibrates
+//	ffccd-redis -clients 16 -rate 5e6 -scheme ffccd
+//	ffccd-redis -clients 16 -scheme stw -ops 100000 -keys 20000
 package main
 
 import (
@@ -15,12 +26,42 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 0.002, "workload scale relative to the paper")
+	clients := flag.Int("clients", 0, "serving mode: simulated client connections (0 = closed-loop Figure 16 mode)")
+	rate := flag.Float64("rate", 0, "serving mode: aggregate offered load in simulated ops/sec (0 = auto-calibrate)")
+	scheme := flag.String("scheme", "all", "serving mode: defrag scheme (none|ffccd|stw|mesh|all)")
+	ops := flag.Int("ops", 0, "serving mode: operations to dispatch (0 = scaled default)")
+	keys := flag.Int("keys", 0, "serving mode: keyspace size (0 = scaled default)")
+	seed := flag.Int64("seed", 7, "serving mode: RNG seed")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *clients > 0 {
+		opts := experiments.ServingOptions{
+			Scale:      *scale,
+			Clients:    *clients,
+			Ops:        *ops,
+			Keyspace:   *keys,
+			RatePerSec: *rate,
+			Seed:       *seed,
+		}
+		if *scheme != "all" {
+			opts.Schemes = []string{*scheme}
+		}
+		res, err := experiments.Serving(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+		return
+	}
 
 	res, err := experiments.Figure16(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Println(res)
 }

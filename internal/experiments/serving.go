@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/core"
+	"ffccd/internal/kv"
+	"ffccd/internal/mesh"
+	"ffccd/internal/redisws"
+	"ffccd/internal/sim"
+	"ffccd/internal/stats"
+)
+
+// ServingOptions parameterizes the serving grid. Zero values select
+// paper-regime defaults scaled by Scale (the same knob every other
+// experiment uses; 1.0 is the paper's full setup).
+type ServingOptions struct {
+	Scale      float64
+	Clients    int
+	Ops        int
+	Keyspace   int
+	RatePerSec float64 // <= 0 auto-calibrates (each scheme lands on the same rate)
+	Seed       int64
+	Schemes    []string // subset of "none", "ffccd", "stw", "mesh"; nil = all
+}
+
+// ServingVariant is one scheme's serving run.
+type ServingVariant struct {
+	Name       string
+	P50        float64 // per-op latency percentiles, simulated cycles
+	P99        float64
+	P999       float64
+	Max        float64
+	MeanApp    float64 // decomposition: the op's own work…
+	MeanInterf float64 // …barrier/checklookup interference…
+	MeanStall  float64 // …STW-pause wait…
+	MeanQueue  float64 // …and open-loop queueing behind the connection.
+	HitRate    float64
+	FinalFragR float64
+	SimCycles  uint64 // loader + clients + defrag thread
+	Parallel   int    // ops executed in conflict-free batches
+	Serial     int
+	Batches    int
+	Evictions  int
+}
+
+// ServingResult is the whole serving grid.
+type ServingResult struct {
+	Clients  int
+	Ops      int
+	Rate     float64 // offered load (ops/sec), equal across schemes
+	Variants []ServingVariant
+}
+
+// servingDefaults fills unset options from Scale.
+func servingDefaults(o ServingOptions) ServingOptions {
+	if o.Scale <= 0 {
+		o.Scale = 0.002
+	}
+	if o.Keyspace <= 0 {
+		o.Keyspace = int(1_000_000 * o.Scale * 20)
+		if o.Keyspace < 2000 {
+			o.Keyspace = 2000
+		}
+	}
+	if o.Ops <= 0 {
+		o.Ops = 6 * o.Keyspace
+	}
+	if o.Clients <= 0 {
+		o.Clients = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = []string{"none", "ffccd", "stw", "mesh"}
+	}
+	return o
+}
+
+func servingConfig(o ServingOptions) redisws.ServeConfig {
+	cfg := redisws.DefaultServeConfig()
+	cfg.Clients = o.Clients
+	cfg.Ops = o.Ops
+	cfg.Keyspace = o.Keyspace
+	cfg.RatePerSec = o.RatePerSec
+	cfg.Seed = o.Seed
+	// The Figure 16 fragmentation regime: LRU churn near the cap plus a
+	// value-size drift halfway through, so defrag has holes to reclaim.
+	cfg.MinVal, cfg.MaxVal = 240, 366
+	cfg.MinVal2, cfg.MaxVal2 = 367, 492
+	cfg.MaxLiveBytes = uint64(o.Keyspace) * 300 / 2
+	cfg.MaintEvery = o.Keyspace / 8
+	return cfg
+}
+
+// Serving runs the SLO grid: the same offered load against one machine per
+// scheme, reporting per-op latency percentiles and their decomposition.
+// This is the paper's §7.4 tail-latency story under open-loop load: STW
+// pauses stall every in-flight and arriving op, so they surface at p999;
+// FFCCD's short mark/summary pauses plus concurrent compaction trade that
+// for small per-op barrier interference.
+func Serving(o ServingOptions) (ServingResult, error) {
+	o = servingDefaults(o)
+	res := ServingResult{Clients: o.Clients, Ops: o.Ops}
+	outs := make([]ServingVariant, len(o.Schemes))
+	rates := make([]float64, len(o.Schemes))
+	err := parallelFor(len(o.Schemes), func(i int) error {
+		v, rate, err := runServingVariant(o.Schemes[i], o)
+		outs[i], rates[i] = v, rate
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Variants = outs
+	res.Rate = rates[0]
+	for _, r := range rates[1:] {
+		if r != res.Rate {
+			return res, fmt.Errorf("experiments.Serving: unequal offered load across schemes (%v vs %v)", res.Rate, r)
+		}
+	}
+	return res, nil
+}
+
+func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64, error) {
+	cfg := servingConfig(o)
+	env, err := NewEnv(uint64(o.Keyspace)*512*6+(32<<20), 12)
+	if err != nil {
+		return ServingVariant{}, 0, err
+	}
+	store, err := kv.NewEcho(env.Ctx, env.Pool, o.Keyspace/2+64)
+	if err != nil {
+		return ServingVariant{}, 0, err
+	}
+
+	var hooks redisws.ServeHooks
+	gcCtx := sim.NewCtx(&env.Cfg)
+	name := scheme
+	var closeEng func()
+	defer func() {
+		if closeEng != nil {
+			closeEng()
+		}
+	}()
+
+	switch scheme {
+	case "none":
+		name = "PMDK (baseline)"
+	case "ffccd":
+		name = "FFCCD"
+		opt := core.Options{Scheme: core.SchemeFFCCDCheckLookup, TriggerRatio: 1.10, TargetRatio: 1.01, BatchObjects: 64}
+		eng := core.NewEngine(env.Pool, opt)
+		closeEng = eng.Close
+		open := false
+		hooks.Maintenance = func(uint64) uint64 {
+			if open || env.Pool.Heap().Frag(12).FragRatio <= opt.TriggerRatio {
+				return 0
+			}
+			before := gcCtx.Clock.Cycles(sim.CatMark) + gcCtx.Clock.Cycles(sim.CatSummary)
+			if !eng.BeginCycle(gcCtx) {
+				return 0
+			}
+			open = true
+			// Only the mark+summary phases stall the application (§2.3.2);
+			// compaction proceeds concurrently behind the read barrier.
+			return gcCtx.Clock.Cycles(sim.CatMark) + gcCtx.Clock.Cycles(sim.CatSummary) - before
+		}
+		hooks.EpochOpen = func() bool { return open }
+		hooks.Step = func(n int) (bool, uint64) {
+			eng.StepCompaction(gcCtx, n)
+			if eng.EpochPending() > 0 {
+				return true, 0
+			}
+			// Terminate: reference fixup + flush run stop-the-world.
+			t0 := gcCtx.Clock.Total()
+			eng.FinishCycle(gcCtx)
+			open = false
+			return false, gcCtx.Clock.Total() - t0
+		}
+	case "stw":
+		name = "STW defrag"
+		opt := core.Options{Scheme: core.SchemeEspresso, TriggerRatio: 1.10, TargetRatio: 1.01, BatchObjects: 64}
+		eng := core.NewEngine(env.Pool, opt)
+		closeEng = eng.Close
+		hooks.Maintenance = func(uint64) uint64 {
+			if env.Pool.Heap().Frag(12).FragRatio <= opt.TriggerRatio {
+				return 0
+			}
+			pause, _ := eng.RunCycleSTW(gcCtx)
+			return pause
+		}
+	case "mesh":
+		name = "Mesh"
+		d := mesh.New(env.Pool)
+		hooks.Maintenance = func(uint64) uint64 {
+			before := gcCtx.Clock.Total()
+			d.RunCycle(gcCtx)
+			return gcCtx.Clock.Total() - before // meshing pauses the world
+		}
+		hooks.Foot = func() alloc.FragStats { return d.PhysFrag(12) }
+	default:
+		return ServingVariant{}, 0, fmt.Errorf("experiments.Serving: unknown scheme %q", scheme)
+	}
+
+	out, err := redisws.Serve(env.Ctx, env.Pool, store, cfg, hooks)
+	if err != nil {
+		return ServingVariant{}, 0, err
+	}
+	n := float64(out.Ops)
+	v := ServingVariant{
+		Name:       name,
+		P50:        out.Lat.Percentile(50),
+		P99:        out.Lat.Percentile(99),
+		P999:       out.Lat.Percentile(99.9),
+		Max:        out.Lat.Max(),
+		MeanApp:    float64(out.AppCycles) / n,
+		MeanInterf: float64(out.InterfCycles) / n,
+		MeanStall:  float64(out.StallWaitCycles) / n,
+		MeanQueue:  float64(out.QueueWaitCycles) / n,
+		FinalFragR: out.Final.FragRatio,
+		SimCycles:  out.SimCycles + gcCtx.Clock.Total(),
+		Parallel:   out.ParallelOps,
+		Serial:     out.SerialOps,
+		Batches:    out.Batches,
+		Evictions:  out.Evictions,
+	}
+	if out.Gets > 0 {
+		v.HitRate = float64(out.Hits) / float64(out.Gets)
+	}
+	return v, out.RateUsed, nil
+}
+
+func (r ServingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving — open-loop SLO comparison: %d clients, %d ops, %.0f ops/s offered\n",
+		r.Clients, r.Ops, r.Rate)
+	t := stats.NewTable("scheme", "p50(cyc)", "p99(cyc)", "p999(cyc)", "max(cyc)",
+		"app(cyc)", "interf", "stall", "queue", "hit%", "fragR", "par-ops")
+	for _, v := range r.Variants {
+		t.Add(v.Name, v.P50, v.P99, v.P999, v.Max,
+			v.MeanApp, v.MeanInterf, v.MeanStall, v.MeanQueue, v.HitRate*100, v.FinalFragR, v.Parallel)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Metrics flattens the grid for benchmark records; sim_cycles_total is the
+// cross-host-parallelism determinism pin.
+func (r ServingResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"serving.clients":      float64(r.Clients),
+		"serving.ops":          float64(r.Ops),
+		"serving.rate_per_sec": r.Rate,
+	}
+	var total uint64
+	for _, v := range r.Variants {
+		k := "serving." + schemeKey(v.Name) + "."
+		m[k+"p50_cycles"] = v.P50
+		m[k+"p99_cycles"] = v.P99
+		m[k+"p999_cycles"] = v.P999
+		m[k+"max_cycles"] = v.Max
+		m[k+"mean_app_cycles"] = v.MeanApp
+		m[k+"mean_interf_cycles"] = v.MeanInterf
+		m[k+"mean_stall_cycles"] = v.MeanStall
+		m[k+"mean_queue_cycles"] = v.MeanQueue
+		m[k+"hit_rate"] = v.HitRate
+		m[k+"final_frag_ratio"] = v.FinalFragR
+		m[k+"sim_cycles"] = float64(v.SimCycles)
+		m[k+"parallel_ops"] = float64(v.Parallel)
+		m[k+"serial_ops"] = float64(v.Serial)
+		m[k+"batches"] = float64(v.Batches)
+		total += v.SimCycles
+	}
+	m["sim_cycles_total"] = float64(total)
+	return m
+}
+
+func schemeKey(name string) string {
+	switch name {
+	case "PMDK (baseline)":
+		return "none"
+	case "FFCCD":
+		return "ffccd"
+	case "STW defrag":
+		return "stw"
+	case "Mesh":
+		return "mesh"
+	}
+	return strings.ToLower(strings.ReplaceAll(name, " ", "_"))
+}

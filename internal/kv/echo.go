@@ -264,4 +264,43 @@ func (e *Echo) getUnlocked(ctx *sim.Ctx, key uint64) ([]byte, bool) {
 	return buf, true
 }
 
+// GetParallel is Get without the store mutex: the synchronisation-free read
+// path the serving layer dispatches in host-parallel batches. It is only
+// safe when the caller guarantees no concurrent mutation of the touched
+// bucket chain and no open defragmentation epoch (no read barrier, so the
+// load sequence is side-effect free outside the device's cache sets).
+func (e *Echo) GetParallel(ctx *sim.Ctx, key uint64) ([]byte, bool) {
+	e.p.StartOp()
+	defer e.p.EndOp()
+	return e.getUnlocked(ctx, key)
+}
+
+// GetFootprint reports a superset of the pool-offset byte ranges Get(key)
+// would load, by walking the bucket chain with non-perturbing peeks (no
+// cycles, no cache effects). The serving layer maps the ranges to device
+// cache sets to decide which in-flight operations commute. Must be called
+// with no open defragmentation epoch (peeked pointers are not
+// barrier-resolved).
+func (e *Echo) GetFootprint(key uint64, visit func(off, n uint64)) {
+	p := e.p
+	seg, off := e.bucket(key)
+	slot := seg.Offset() + off
+	visit(slot, 8)
+	for ent := pmop.Ptr(p.PeekU64(slot)); !ent.IsNull(); {
+		entOff := ent.Offset()
+		visit(entOff, enNext+8)
+		if p.PeekU64(entOff+enKey) == key {
+			v := pmop.Ptr(p.PeekU64(entOff + enVal))
+			if !v.IsNull() {
+				hdrOff := v.Offset() - pmop.HeaderSize
+				visit(hdrOff, pmop.HeaderSize)
+				n := p.PeekU64(hdrOff) >> 32 // header: type u32 | payload-len u32
+				visit(v.Offset(), n)
+			}
+			return
+		}
+		ent = pmop.Ptr(p.PeekU64(entOff + enNext))
+	}
+}
+
 var _ ds.Store = (*Echo)(nil)

@@ -7,15 +7,32 @@ import (
 	"sync/atomic"
 )
 
-// histBuckets is the number of power-of-two buckets a histogram keeps:
-// bucket i counts values v with bits.Len64(v) == i, i.e. bucket 0 holds
-// zero and bucket i>0 holds [2^(i-1), 2^i). 65 buckets cover all of uint64.
-const histBuckets = 65
+// The histogram is HDR-style log-linear: each power-of-two octave is split
+// into histSubCount linear sub-buckets, so the relative width of any bucket
+// is at most 2^-histSubBits (6.25%) — fine enough to resolve p999 tails.
+// Values below histSubCount get one exact bucket each.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // sub-buckets per octave
+	// Octaves 4..63 contribute histSubCount buckets each on top of the
+	// histSubCount exact small-value buckets: indices 0..975.
+	histBuckets = histSubCount + (64-histSubBits)*histSubCount
+)
 
-// Histogram is a cycle-domain histogram with power-of-two buckets. It trades
-// bucket resolution for O(1) constant-memory observation, which is what a
+// bucketIndex maps a value to its log-linear bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	e := uint(bits.Len64(v)) - 1
+	return int((e-histSubBits)<<histSubBits) + int(v>>(e-histSubBits))
+}
+
+// Histogram is a cycle-domain histogram with log-linear buckets (16
+// sub-buckets per power-of-two octave). It trades a bounded ≤1/16 relative
+// bucket width for O(1) constant-memory observation, which is what a
 // hot-path latency recorder needs; percentile estimates are resolved to the
-// upper bound of the containing bucket.
+// upper bound of the containing bucket, clamped to the observed max.
 type Histogram struct {
 	mu      sync.Mutex
 	count   uint64
@@ -36,7 +53,34 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.count++
 	h.sum += v
-	h.buckets[bits.Len64(v)]++
+	h.buckets[bucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// Merge folds other's observations into h (bucket-wise; exact for count,
+// sum, min, max, and every quantile estimate, as if all values had been
+// observed on h).
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	count, sum, mn, mx := other.count, other.sum, other.min, other.max
+	var b [histBuckets]uint64
+	copy(b[:], other.buckets[:])
+	other.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || mn < h.min {
+		h.min = mn
+	}
+	if mx > h.max {
+		h.max = mx
+	}
+	h.count += count
+	h.sum += sum
+	for i := range b {
+		h.buckets[i] += b[i]
+	}
 	h.mu.Unlock()
 }
 
@@ -48,8 +92,10 @@ type HistSnapshot struct {
 	Min   uint64
 	Max   uint64
 	P50   uint64 // bucket-upper-bound estimates
+	P90   uint64
 	P95   uint64
 	P99   uint64
+	P999  uint64
 }
 
 // Mean returns the exact arithmetic mean of observed values.
@@ -60,18 +106,57 @@ func (s HistSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// bucketUpper is the largest value bucket i holds (inverse of bucketIndex).
 func bucketUpper(i int) uint64 {
-	if i == 0 {
+	if i < histSubCount {
+		return uint64(i)
+	}
+	shift := uint(i>>histSubBits) - 1
+	lower := (uint64(i&(histSubCount-1)) + histSubCount) << shift
+	return lower + (1 << shift) - 1
+}
+
+// quantileLocked resolves quantile q (0..1) to the upper bound of its
+// bucket, clamped to the observed max. Caller holds h.mu.
+func (h *Histogram) quantileLocked(q float64) uint64 {
+	if h.count == 0 {
 		return 0
 	}
-	if i >= 64 {
-		return ^uint64(0)
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
 	}
-	return 1<<uint(i) - 1
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Quantile resolves quantile q in [0,1] to the upper bound of its log-linear
+// bucket (relative error ≤ 2^-4), clamped to the observed max.
+func (h *Histogram) Quantile(q float64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// Count returns the number of observed values.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
 }
 
 // Snapshot summarizes the histogram. Percentiles are upper bounds of the
-// containing power-of-two bucket, clamped to the observed max.
+// containing log-linear bucket, clamped to the observed max.
 func (h *Histogram) Snapshot(name string) HistSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -79,25 +164,11 @@ func (h *Histogram) Snapshot(name string) HistSnapshot {
 	if h.count == 0 {
 		return s
 	}
-	quantile := func(q float64) uint64 {
-		target := uint64(q * float64(h.count))
-		if target >= h.count {
-			target = h.count - 1
-		}
-		var seen uint64
-		for i, c := range h.buckets {
-			seen += c
-			if seen > target {
-				u := bucketUpper(i)
-				if u > h.max {
-					u = h.max
-				}
-				return u
-			}
-		}
-		return h.max
-	}
-	s.P50, s.P95, s.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	s.P999 = h.quantileLocked(0.999)
 	return s
 }
 
@@ -228,7 +299,7 @@ func (r *Registry) Snapshot() Snapshot {
 
 // Flat renders the snapshot as a single sorted key→value map — the shape
 // benchmark records and expvar publish. Histograms contribute
-// name.count/.mean/.p50/.p95/.max; groups contribute group.key.
+// name.count/.mean/.p50/.p95/.p99/.p999/.max; groups contribute group.key.
 func (s Snapshot) Flat() map[string]float64 {
 	out := map[string]float64{}
 	for _, h := range s.Hists {
@@ -237,6 +308,8 @@ func (s Snapshot) Flat() map[string]float64 {
 			out[h.Name+".mean"] = h.Mean()
 			out[h.Name+".p50"] = float64(h.P50)
 			out[h.Name+".p95"] = float64(h.P95)
+			out[h.Name+".p99"] = float64(h.P99)
+			out[h.Name+".p999"] = float64(h.P999)
 			out[h.Name+".max"] = float64(h.Max)
 		}
 	}
@@ -255,11 +328,11 @@ func (s Snapshot) Flat() map[string]float64 {
 func mergeFlat(dst, src map[string]float64) {
 	for k, v := range src {
 		switch {
-		case len(k) > 4 && (k[len(k)-4:] == ".p50" || k[len(k)-4:] == ".p95" || k[len(k)-4:] == ".max"):
+		case len(k) > 4 && (k[len(k)-4:] == ".p50" || k[len(k)-4:] == ".p95" || k[len(k)-4:] == ".p99" || k[len(k)-4:] == ".max"):
 			if v > dst[k] {
 				dst[k] = v
 			}
-		case len(k) > 5 && k[len(k)-5:] == ".mean":
+		case len(k) > 5 && (k[len(k)-5:] == ".mean" || k[len(k)-5:] == ".p999"):
 			// Recomputed below from count/sum when both present; otherwise keep max.
 			if v > dst[k] {
 				dst[k] = v

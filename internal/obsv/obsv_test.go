@@ -21,9 +21,9 @@ func TestHistogramSnapshot(t *testing.T) {
 	if got, want := s.Mean(), 50.5; got != want {
 		t.Fatalf("mean = %v want %v", got, want)
 	}
-	// Power-of-two buckets: the p50 estimate must bound the true median (50)
-	// from above within its bucket [32,64), and p99 within [64,128) clamped
-	// to the observed max.
+	// Log-linear buckets: the p50 estimate must bound the true median (50)
+	// from above within 1/16 relative error, and p99 lands in 100's bucket,
+	// clamped to the observed max.
 	if s.P50 < 50 || s.P50 > 63 {
 		t.Fatalf("p50 = %d, want within [50,63]", s.P50)
 	}
@@ -32,6 +32,77 @@ func TestHistogramSnapshot(t *testing.T) {
 	}
 	if zero := (&Histogram{}).Snapshot("z"); zero.Count != 0 || zero.Mean() != 0 {
 		t.Fatalf("empty snapshot = %+v", zero)
+	}
+}
+
+// TestHistogramResolution pins the HDR-style log-linear bucket contract:
+// every quantile estimate is an upper bound on the true value with relative
+// error at most 2^-histSubBits, across the full uint64 range.
+func TestHistogramResolution(t *testing.T) {
+	// Bucket geometry: index and upper bound must be mutually consistent.
+	probe := []uint64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1023, 1024,
+		1<<20 + 12345, 1<<40 + 987654321, 1<<63 + 12345, ^uint64(0)}
+	for _, v := range probe {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		u := bucketUpper(i)
+		if v > u {
+			t.Fatalf("value %d above its bucket upper %d (idx %d)", v, u, i)
+		}
+		if i+1 < histBuckets && bucketUpper(i+1) <= u {
+			t.Fatalf("bucket uppers not increasing at idx %d", i)
+		}
+		// Relative width bound: upper/v - 1 <= 2^-histSubBits for v >= 16.
+		if v >= histSubCount {
+			if err := float64(u-v) / float64(v); err > 1.0/histSubCount {
+				t.Fatalf("bucket relative error %v for value %d (upper %d)", err, v, u)
+			}
+		} else if u != v {
+			t.Fatalf("small value %d not exact (upper %d)", v, u)
+		}
+	}
+
+	// End-to-end: a geometric sweep of observations; each quantile estimate
+	// must be >= the true order statistic and within 1/16 above it.
+	h := &Histogram{}
+	var vals []uint64
+	v := uint64(1)
+	for v < 1<<50 {
+		vals = append(vals, v)
+		h.Observe(v)
+		v += v/7 + 1
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(q * float64(len(vals)))
+		if idx >= len(vals) {
+			idx = len(vals) - 1
+		}
+		truth := vals[idx] // vals is sorted by construction
+		got := h.Quantile(q)
+		if got < truth {
+			t.Fatalf("q=%v: estimate %d below true %d", q, got, truth)
+		}
+		if float64(got-truth)/float64(truth) > 1.0/histSubCount {
+			t.Fatalf("q=%v: estimate %d exceeds true %d by more than 1/%d", q, got, truth, histSubCount)
+		}
+	}
+
+	// Merge is exact: two halves merged equal one histogram of the union.
+	a, b, all := &Histogram{}, &Histogram{}, &Histogram{}
+	for i, x := range vals {
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+		all.Observe(x)
+	}
+	a.Merge(b)
+	sa, sall := a.Snapshot("m"), all.Snapshot("m")
+	if sa != sall {
+		t.Fatalf("merged snapshot %+v != direct %+v", sa, sall)
 	}
 }
 

@@ -669,6 +669,52 @@ const (
 	LineInflight
 )
 
+// NumSets returns the number of cache sets — the conflict granularity for
+// host-parallel dispatch: operations whose lines map to disjoint sets share
+// no per-access device state.
+func (d *Device) NumSets() int { return d.nset }
+
+// SetOfAddr returns the cache-set index the line containing addr maps to.
+func (d *Device) SetOfAddr(addr uint64) int { return d.setIndex(addr >> LineShift) }
+
+// Peek copies the newest value of [addr, addr+len(buf)) into buf — cached
+// way first, then in-flight copy, then media — without simulating the
+// access: no cycles are charged, no cache fill or LRU aging happens, and no
+// stats move. The serving layer's dispatch-time footprint prediction uses
+// it on a quiescent device; it takes the per-set locks, so it is safe
+// against concurrent ops but reflects no single instant across lines.
+func (d *Device) Peek(addr uint64, buf []byte) {
+	d.checkRange(addr, uint64(len(buf)))
+	for len(buf) > 0 {
+		lineIdx := addr >> LineShift
+		off := addr & (LineSize - 1)
+		n := LineSize - off
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		set := d.setOf(lineIdx)
+		d.lockSet(set)
+		copied := false
+		for w, t := range set.tags {
+			if t == lineIdx+1 {
+				copy(buf[:n], set.ways[w].data[off:off+n])
+				copied = true
+				break
+			}
+		}
+		if !copied {
+			if i := set.inflightIndex(lineIdx); i >= 0 {
+				copy(buf[:n], set.inflight[i].data[off:off+n])
+			} else {
+				copy(buf[:n], d.media[addr:addr+n])
+			}
+		}
+		d.unlockSet(set)
+		addr += n
+		buf = buf[n:]
+	}
+}
+
 // StateOf returns the LineState for the line containing addr.
 func (d *Device) StateOf(addr uint64) LineState {
 	lineIdx := addr >> LineShift

@@ -319,6 +319,21 @@ func (p *Pool) RawStoreU64(ctx *sim.Ctx, off uint64, v uint64) {
 	p.RawStore(ctx, off, b[:])
 }
 
+// Peek reads the newest bytes at pool offset off without simulating the
+// access — no cycles, no cache/TLB perturbation, no stats (see
+// pmem.Device.Peek). Serving-layer footprint prediction uses it at dispatch
+// time; it must not be used where the simulated cost of a read matters.
+func (p *Pool) Peek(off uint64, buf []byte) {
+	p.dev.Peek(p.PA(off), buf)
+}
+
+// PeekU64 reads a little-endian u64 at off without simulating the access.
+func (p *Pool) PeekU64(off uint64) uint64 {
+	var b [8]byte
+	p.Peek(off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
 // Clwb issues a cacheline write-back for the line containing pool offset off.
 func (p *Pool) Clwb(ctx *sim.Ctx, off uint64) { p.dev.Clwb(ctx, p.PA(off)) }
 

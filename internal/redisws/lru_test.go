@@ -5,7 +5,6 @@ import (
 
 	"ffccd/internal/kv"
 	"ffccd/internal/redisws"
-	"ffccd/internal/stats"
 )
 
 func TestValueSizeDrift(t *testing.T) {
@@ -53,7 +52,7 @@ func TestHookStallsAppearInLatencies(t *testing.T) {
 	if fired != 1 {
 		t.Fatalf("hook fired %d times", fired)
 	}
-	if maxLat := stats.Percentile(res.Latencies, 100); maxLat < bigStall {
+	if maxLat := res.Lat.Max(); maxLat < bigStall {
 		t.Errorf("stall not reflected in latencies: max=%.0f", maxLat)
 	}
 }

@@ -13,12 +13,12 @@ package redisws
 
 import (
 	"container/list"
-	"math/rand"
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/ds"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
+	"ffccd/internal/workload"
 )
 
 // Config matches the paper's setup, scaled (200 MB cap → default 8 MB,
@@ -36,6 +36,9 @@ type Config struct {
 	MinVal2, MaxVal2 int
 	Seed             int64
 	SampleEvery      int
+	// ReservoirCap bounds the exact-latency reservoir sample (<=0 selects
+	// DefaultReservoirCap); the histogram always records every operation.
+	ReservoirCap int
 }
 
 // DefaultConfig returns the scaled §7.4 parameters.
@@ -59,10 +62,12 @@ type Sample struct {
 	Live      uint64
 }
 
-// Result is a completed run.
+// Result is a completed run. Per-operation latencies stream into Lat (a
+// log-linear histogram plus a bounded reservoir) instead of an unbounded
+// slice, so million-op serving runs stay constant-memory.
 type Result struct {
 	Samples   []Sample
-	Latencies []float64 // simulated cycles per operation
+	Lat       *LatencyRecorder // simulated cycles per operation
 	Final     alloc.FragStats
 	Evictions int
 }
@@ -85,18 +90,20 @@ func Run(ctx *sim.Ctx, p *pmop.Pool, s ds.Store, cfg Config, hook Hook, foot Foo
 	if foot == nil {
 		foot = func() alloc.FragStats { return p.Heap().Frag(p.PageShift()) }
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The counter-based RNG makes the run checkpoint/forkable in O(1) like
+	// every other workload (the stream position is the draw counter).
+	rng := workload.NewRNG(cfg.Seed)
 
 	// Volatile LRU bookkeeping (Redis keeps this in DRAM too).
 	lru := list.New() // front = most recent
 	elems := make(map[uint64]*list.Element)
 	liveBytes := uint64(0)
 
-	var res Result
+	res := Result{Lat: NewLatencyRecorder(cfg.ReservoirCap, cfg.Seed^0x5ca1ab1e)}
 	op := 0
 
 	record := func(stall, start uint64) {
-		res.Latencies = append(res.Latencies, float64(stall+ctx.Clock.Total()-start))
+		res.Lat.Observe(stall + ctx.Clock.Total() - start)
 		if op%cfg.SampleEvery == 0 {
 			st := foot()
 			res.Samples = append(res.Samples, Sample{Op: op, Footprint: st.FootprintBytes, Live: st.LiveBytes})

@@ -8,7 +8,6 @@ import (
 	"ffccd/internal/pmop"
 	"ffccd/internal/redisws"
 	"ffccd/internal/sim"
-	"ffccd/internal/stats"
 )
 
 func setup(t *testing.T) (*pmop.Pool, *sim.Ctx) {
@@ -57,7 +56,7 @@ func TestRedisLRUCapHolds(t *testing.T) {
 	if res.Final.FragRatio < 1.1 {
 		t.Errorf("baseline fragR = %.2f, expected fragmentation", res.Final.FragRatio)
 	}
-	if len(res.Latencies) == 0 {
+	if res.Lat.Count() == 0 {
 		t.Fatal("no latencies recorded")
 	}
 }
@@ -113,7 +112,9 @@ func TestRedisSTWPausesVisibleInTail(t *testing.T) {
 	eng := core.NewEngine(p, opt)
 	defer eng.Close()
 	stwCtx := sim.NewCtx(p.Config())
-	res, err := redisws.Run(ctx, p, store, smallCfg(), func(op int) uint64 {
+	cfg := smallCfg()
+	cfg.ReservoirCap = 1 << 20 // hold every observation: exact cross-check below
+	res, err := redisws.Run(ctx, p, store, cfg, func(op int) uint64 {
 		if op%400 == 399 {
 			pause, _ := eng.RunCycleSTW(stwCtx)
 			return pause
@@ -123,9 +124,14 @@ func TestRedisSTWPausesVisibleInTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p50 := stats.Percentile(res.Latencies, 50)
-	p999 := stats.Percentile(res.Latencies, 99.9)
+	p50 := res.Lat.Percentile(50)
+	p999 := res.Lat.Percentile(99.9)
 	if p999 < 10*p50 {
 		t.Errorf("STW pauses not visible in tail: p50=%.0f p99.9=%.0f", p50, p999)
+	}
+	// The bounded reservoir holds every observation at this run size, so its
+	// exact percentile must sit within the histogram bucket's 1/16 bound.
+	if exact := res.Lat.ReservoirPercentile(99.9); exact > p999 || p999 > exact*(1+1.0/16)+1 {
+		t.Errorf("histogram p999 %.0f not within bucket error of exact %.0f", p999, exact)
 	}
 }

@@ -1,0 +1,628 @@
+package redisws
+
+import (
+	"container/list"
+	"errors"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/ds"
+	"ffccd/internal/obsv"
+	"ffccd/internal/pmem"
+	"ffccd/internal/pmop"
+	"ffccd/internal/sim"
+	"ffccd/internal/workload"
+	"ffccd/internal/workpool"
+)
+
+// This file is the serving layer: many simulated client connections against
+// one machine, under a deterministic virtual-time scheduler.
+//
+// Model. Each client is one connection thread with its own sim.Ctx (private
+// clock + TLB). Operations arrive open-loop: a Poisson process per client
+// (aggregate rate Config.RatePerSec), independent of completions, so an
+// overloaded machine builds queueing delay instead of silently slowing the
+// offered load — the regime in which STW pauses surface as p999. "Millions
+// of users" are represented by the aggregate arrival process; the client
+// count is the number of server-side connection contexts, not the user
+// population (a Ctx carries a private TLB, so a million Ctxs would model a
+// million hardware threads, which is not the machine the paper runs).
+//
+// Scheduling. The dispatcher always serves the client with the lowest
+// virtual start time s = max(arrival, readyAt, stallUntil), ties by client
+// id. All randomness (op type, Zipfian key, value size, next interarrival)
+// is drawn from one counter-based stream in dispatch order, so the whole
+// run is a pure function of the seed.
+//
+// Host parallelism. Consecutive dispatches that are read-only, touch
+// pairwise-disjoint device cache sets (predicted with non-perturbing
+// peeks), and run while no defragmentation epoch is open are executed as
+// one batch on the shared worker pool. Every side effect of such a GET is
+// confined to its own cache sets (fills, LRU aging, eviction write-backs)
+// or commutes (sharded stat counters), and its cycle charges land on the
+// client's private clock — so the simulated outcome is bit-identical to
+// serial execution regardless of host thread count or interleaving.
+// Anything else — SETs, conflicting GETs, epochs in flight — falls back to
+// serial dispatch in virtual-time order.
+
+// ServeConfig parameterizes one serving run.
+type ServeConfig struct {
+	Clients  int // simulated connection threads
+	Ops      int // dispatched operations (after prepopulation)
+	Keyspace int // distinct keys; prepopulated 0..Keyspace-1
+
+	// RatePerSec is the aggregate offered load in simulated ops/sec.
+	// <= 0 auto-calibrates to TargetUtil of the measured service rate.
+	RatePerSec float64
+	TargetUtil float64 // calibration target utilization (default 0.6)
+
+	ZipfTheta   float64 // key-popularity skew (default 0.99)
+	GetFraction float64 // fraction of GETs (default 0.9)
+
+	MaxLiveBytes     uint64 // LRU cap; 0 disables eviction
+	MinVal, MaxVal   int    // value sizes (default 240..492)
+	MinVal2, MaxVal2 int    // post-drift sizes, switched at Ops/2 when set
+
+	Seed         int64
+	MaxBatch     int // parallel batch size limit (default 64)
+	MaintEvery   int // ops between maintenance-hook calls (default Keyspace/4)
+	WarmupOps    int // serial warmup ops before arrivals start (default 64/client, also the calibration window)
+	ReservoirCap int
+}
+
+// DefaultServeConfig returns a small serving setup (tests and smoke runs
+// override what they need).
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Clients:     16,
+		Ops:         20000,
+		Keyspace:    4000,
+		TargetUtil:  0.6,
+		ZipfTheta:   0.99,
+		GetFraction: 0.9,
+		MinVal:      240,
+		MaxVal:      492,
+		Seed:        7,
+	}
+}
+
+// ServeHooks injects a defragmentation scheme into the serving loop.
+type ServeHooks struct {
+	// Maintenance runs every MaintEvery dispatched ops at virtual time now;
+	// returned cycles stall every client (an STW pause: arrivals during the
+	// pause queue behind it).
+	Maintenance func(now uint64) uint64
+	// Step runs background defrag work after each commit round while an
+	// epoch is open (n = ops just committed); it reports whether the epoch
+	// is still open, plus any STW pause cycles the step incurred (the
+	// terminate phase stops the world to fix references and flush).
+	Step func(n int) (open bool, pause uint64)
+	// EpochOpen reports whether a concurrent-defrag epoch is mid-flight —
+	// read barriers installed, so batched (lock-free, peek-predicted)
+	// dispatch is disabled and everything runs serially.
+	EpochOpen func() bool
+	// Foot overrides the footprint source (Mesh reports physical frames).
+	Foot FootprintFn
+}
+
+// ServeResult is a completed serving run.
+type ServeResult struct {
+	Ops, Gets, Sets int
+	Hits, Misses    int
+	Evictions       int
+
+	// Lat is the per-op latency (arrival → completion, simulated cycles).
+	Lat *LatencyRecorder
+	// Decomposition histograms, one observation per op:
+	AppHist    *obsv.Histogram // service cycles in CatApp (the op's own work)
+	InterfHist *obsv.Histogram // service cycles outside CatApp (barrier fixups, checklookup)
+	StallHist  *obsv.Histogram // dispatch delay from STW pauses
+	QueueHist  *obsv.Histogram // waiting behind the connection's previous op
+
+	AppCycles, InterfCycles          uint64 // sums of the above
+	StallWaitCycles, QueueWaitCycles uint64
+
+	RateUsed  float64 // offered load actually used (ops/sec)
+	Makespan  uint64  // virtual time of the last completion
+	SimCycles uint64  // total cycles across the loader and every client clock
+
+	// Dispatch-shape counters (deterministic for a fixed seed).
+	ParallelOps, SerialOps, Batches int
+
+	Final alloc.FragStats
+}
+
+// parallelStore is the optional store interface batched dispatch needs;
+// kv.Echo implements it. Stores without it serve strictly serially.
+type parallelStore interface {
+	ds.Store
+	GetParallel(ctx *sim.Ctx, key uint64) ([]byte, bool)
+	GetFootprint(key uint64, visit func(off, n uint64))
+}
+
+// pendingOp is one generated-but-uncommitted operation.
+type pendingOp struct {
+	cli     int
+	key     uint64
+	isGet   bool
+	valSize int
+	arrival uint64
+	// filled by execution:
+	svc, app uint64
+	hit      bool
+}
+
+// clientState is one connection thread.
+type clientState struct {
+	ctx         *sim.Ctx
+	nextArrival uint64
+	readyAt     uint64
+}
+
+// clientHeap is a binary min-heap of client ids ordered by (base, id),
+// base = max(nextArrival, readyAt). Clients re-enter only after commit, so
+// plain push/pop suffices.
+type clientHeap struct {
+	ids  []int
+	base []uint64 // indexed by client id
+}
+
+func (h *clientHeap) less(a, b int) bool {
+	if h.base[a] != h.base[b] {
+		return h.base[a] < h.base[b]
+	}
+	return a < b
+}
+
+func (h *clientHeap) push(id int) {
+	h.ids = append(h.ids, id)
+	i := len(h.ids) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.ids[i], h.ids[p]) {
+			break
+		}
+		h.ids[i], h.ids[p] = h.ids[p], h.ids[i]
+		i = p
+	}
+}
+
+func (h *clientHeap) pop() int {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.ids = h.ids[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.ids) && h.less(h.ids[l], h.ids[m]) {
+			m = l
+		}
+		if r < len(h.ids) && h.less(h.ids[r], h.ids[m]) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		h.ids[i], h.ids[m] = h.ids[m], h.ids[i]
+		i = m
+	}
+}
+
+// setMarks detects cache-set conflicts between a candidate op and the
+// current batch with O(footprint) stamping and O(1) reset.
+type setMarks struct {
+	stamp    []uint64
+	batchTag uint64
+	candTag  uint64
+	tag      uint64
+}
+
+func newSetMarks(nset int) *setMarks { return &setMarks{stamp: make([]uint64, nset)} }
+
+func (m *setMarks) newBatch() { m.tag++; m.batchTag = m.tag }
+func (m *setMarks) newCand()  { m.tag++; m.candTag = m.tag }
+
+// Serve runs the serving scenario. ctx is the loader context (prepopulation
+// runs on it, serially; warmup runs on the client contexts).
+func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks ServeHooks) (ServeResult, error) {
+	if cfg.Clients <= 0 || cfg.Ops <= 0 || cfg.Keyspace <= 0 {
+		return ServeResult{}, errors.New("redisws.Serve: Clients, Ops and Keyspace must be positive")
+	}
+	if cfg.TargetUtil <= 0 || cfg.TargetUtil >= 1 {
+		cfg.TargetUtil = 0.6
+	}
+	if cfg.ZipfTheta <= 0 {
+		cfg.ZipfTheta = 0.99
+	}
+	if cfg.GetFraction < 0 || cfg.GetFraction > 1 {
+		cfg.GetFraction = 0.9
+	}
+	if cfg.MinVal <= 0 || cfg.MaxVal < cfg.MinVal {
+		cfg.MinVal, cfg.MaxVal = 240, 492
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaintEvery <= 0 {
+		cfg.MaintEvery = cfg.Keyspace / 4
+		if cfg.MaintEvery == 0 {
+			cfg.MaintEvery = 1
+		}
+	}
+	foot := hooks.Foot
+	if foot == nil {
+		foot = func() alloc.FragStats { return p.Heap().Frag(p.PageShift()) }
+	}
+
+	rng := workload.NewRNG(cfg.Seed)
+	zipf := NewZipf(rng, uint64(cfg.Keyspace), cfg.ZipfTheta)
+
+	res := ServeResult{
+		Lat:        NewLatencyRecorder(cfg.ReservoirCap, cfg.Seed^0x5ca1ab1e),
+		AppHist:    &obsv.Histogram{},
+		InterfHist: &obsv.Histogram{},
+		StallHist:  &obsv.Histogram{},
+		QueueHist:  &obsv.Histogram{},
+	}
+
+	// Volatile LRU bookkeeping, shared across clients (Redis keeps one).
+	lru := list.New()
+	elems := make(map[uint64]*list.Element)
+	liveBytes := uint64(0)
+
+	lo, hi := cfg.MinVal, cfg.MaxVal
+	fillValue := func(k uint64, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(k) + byte(i)
+		}
+		return b
+	}
+
+	evict := func(ectx *sim.Ctx) error {
+		if cfg.MaxLiveBytes == 0 {
+			return nil
+		}
+		for liveBytes > cfg.MaxLiveBytes && lru.Len() > 0 {
+			back := lru.Back()
+			k := back.Value.(lruEnt).key
+			sz := back.Value.(lruEnt).size
+			if _, err := store.Delete(ectx, k); err != nil {
+				return err
+			}
+			lru.Remove(back)
+			delete(elems, k)
+			liveBytes -= sz
+			res.Evictions++
+		}
+		return nil
+	}
+
+	// Prepopulate the keyspace on the loader context.
+	for k := 0; k < cfg.Keyspace; k++ {
+		n := lo + rng.Intn(hi-lo+1)
+		if err := store.Insert(ctx, uint64(k), fillValue(uint64(k), n)); err != nil {
+			return res, err
+		}
+		elems[uint64(k)] = lru.PushFront(lruEnt{uint64(k), uint64(n)})
+		liveBytes += uint64(n)
+		if err := evict(ctx); err != nil {
+			return res, err
+		}
+	}
+
+	ps, _ := store.(parallelStore)
+	dev := p.Device()
+	marks := newSetMarks(dev.NumSets())
+
+	clients := make([]clientState, cfg.Clients)
+	for i := range clients {
+		clients[i].ctx = sim.NewCtx(p.Config())
+	}
+
+	// Warmup and calibration. The warmup window runs the first WarmupOps of
+	// the real mix (GETs and SETs with LRU churn) serially, round-robin
+	// across the real client contexts, before arrivals begin: cold per-client
+	// TLBs, cache pressure from the churn, and eviction work are all part of
+	// the steady-state service time the offered load must be set against (a
+	// GET-only probe on the warm loader context underestimates it
+	// several-fold and the run saturates). The draws come from the main
+	// stream, so every scheme (same seed, same prepopulated machine, no
+	// defrag activity yet) measures the same mean and lands on the same
+	// rate — equal offered load is what makes the per-scheme tails
+	// comparable.
+	warm := cfg.WarmupOps
+	if warm <= 0 {
+		warm = 64 * cfg.Clients
+		if warm > 8192 {
+			warm = 8192
+		}
+	}
+	var warmSvc uint64
+	for i := 0; i < warm; i++ {
+		c := clients[i%cfg.Clients].ctx
+		t0 := c.Clock.Total()
+		if rng.Float64() < cfg.GetFraction {
+			store.Get(c, zipf.Next())
+		} else {
+			k := zipf.Next()
+			n := lo + rng.Intn(hi-lo+1)
+			if err := store.Insert(c, k, fillValue(k, n)); err != nil {
+				return res, err
+			}
+			if e, ok := elems[k]; ok {
+				liveBytes -= e.Value.(lruEnt).size
+				lru.Remove(e)
+			}
+			elems[k] = lru.PushFront(lruEnt{k, uint64(n)})
+			liveBytes += uint64(n)
+			if err := evict(c); err != nil {
+				return res, err
+			}
+		}
+		warmSvc += c.Clock.Total() - t0
+	}
+	rate := cfg.RatePerSec
+	if rate <= 0 {
+		meanSvc := float64(warmSvc) / float64(warm)
+		rate = cfg.TargetUtil * float64(cfg.Clients) / meanSvc * sim.CyclesPerSecond
+	}
+	res.RateUsed = rate
+	meanInter := float64(cfg.Clients) * sim.CyclesPerSecond / rate // cycles, per client
+
+	heap := &clientHeap{base: make([]uint64, cfg.Clients)}
+	for i := range clients {
+		clients[i].nextArrival = uint64(rng.ExpFloat64() * meanInter)
+		heap.base[i] = clients[i].nextArrival
+		heap.push(i)
+	}
+
+	var (
+		stallUntil uint64
+		vHigh      uint64 // high-water completion time
+		dispatched int
+		nextMaint  = cfg.MaintEvery
+		epochOpen  bool
+		carry      *pendingOp
+		batch      []pendingOp
+		driftAt    = cfg.Ops / 2
+	)
+
+	// footprintSets stamps the candidate's predicted cache sets; reports
+	// whether it conflicts with the current batch.
+	footprintSets := func(key uint64) bool {
+		marks.newCand()
+		conflict := false
+		ps.GetFootprint(key, func(off, n uint64) {
+			if conflict {
+				return
+			}
+			for a := off &^ (pmem.LineSize - 1); a < off+n; a += pmem.LineSize {
+				set := dev.SetOfAddr(p.PA(a))
+				switch marks.stamp[set] {
+				case marks.batchTag:
+					conflict = true
+					return
+				case marks.candTag:
+					// dup within this candidate
+				default:
+					marks.stamp[set] = marks.candTag
+				}
+			}
+		})
+		return conflict
+	}
+	// acceptCand promotes the candidate's stamps into the batch.
+	acceptCand := func() {
+		for i, s := range marks.stamp {
+			if s == marks.candTag {
+				marks.stamp[i] = marks.batchTag
+			}
+		}
+	}
+
+	// genOp pops the lowest-virtual-time client and draws its operation.
+	genOp := func() pendingOp {
+		id := heap.pop()
+		c := &clients[id]
+		op := pendingOp{cli: id, arrival: c.nextArrival}
+		op.isGet = rng.Float64() < cfg.GetFraction
+		op.key = zipf.Next()
+		if !op.isGet {
+			op.valSize = lo + rng.Intn(hi-lo+1)
+		}
+		c.nextArrival += uint64(rng.ExpFloat64() * meanInter)
+		return op
+	}
+
+	// execGet runs one GET on its client's private context (safe in a batch).
+	execGet := func(op *pendingOp) {
+		c := &clients[op.cli]
+		t0 := c.ctx.Clock.Total()
+		a0 := c.ctx.Clock.Cycles(sim.CatApp)
+		if ps != nil {
+			_, op.hit = ps.GetParallel(c.ctx, op.key)
+		} else {
+			_, op.hit = store.Get(c.ctx, op.key)
+		}
+		op.svc = c.ctx.Clock.Total() - t0
+		op.app = c.ctx.Clock.Cycles(sim.CatApp) - a0
+	}
+
+	// commit applies one executed op in dispatch order: latency accounting,
+	// LRU update, and the client's re-entry into the virtual-time heap.
+	commit := func(op *pendingOp) {
+		c := &clients[op.cli]
+		base := op.arrival
+		if c.readyAt > base {
+			base = c.readyAt
+		}
+		start := base
+		if stallUntil > start {
+			start = stallUntil
+		}
+		comp := start + op.svc
+		c.readyAt = comp
+		if comp > vHigh {
+			vHigh = comp
+		}
+
+		queueWait := base - op.arrival // waiting behind this connection's previous op
+		stallWait := start - base
+		res.Lat.Observe(comp - op.arrival)
+		res.AppHist.Observe(op.app)
+		res.InterfHist.Observe(op.svc - op.app)
+		res.StallHist.Observe(stallWait)
+		res.QueueHist.Observe(queueWait)
+		res.AppCycles += op.app
+		res.InterfCycles += op.svc - op.app
+		res.StallWaitCycles += stallWait
+		res.QueueWaitCycles += queueWait
+
+		if op.isGet {
+			res.Gets++
+			if op.hit {
+				res.Hits++
+				if e, found := elems[op.key]; found {
+					lru.MoveToFront(e)
+				}
+			} else {
+				res.Misses++
+			}
+		} else {
+			res.Sets++
+		}
+		res.Ops++
+		dispatched++
+		heap.base[op.cli] = c.nextArrival
+		if c.readyAt > heap.base[op.cli] {
+			heap.base[op.cli] = c.readyAt
+		}
+		heap.push(op.cli)
+	}
+
+	// execSerial runs a SET (or a GET that could not batch) on the dispatch
+	// goroutine.
+	execSerial := func(op *pendingOp) error {
+		c := &clients[op.cli]
+		t0 := c.ctx.Clock.Total()
+		a0 := c.ctx.Clock.Cycles(sim.CatApp)
+		if op.isGet {
+			_, op.hit = store.Get(c.ctx, op.key)
+		} else {
+			if err := store.Insert(c.ctx, op.key, fillValue(op.key, op.valSize)); err != nil {
+				return err
+			}
+			if e, ok := elems[op.key]; ok {
+				liveBytes -= e.Value.(lruEnt).size
+				lru.Remove(e)
+			}
+			elems[op.key] = lru.PushFront(lruEnt{op.key, uint64(op.valSize)})
+			liveBytes += uint64(op.valSize)
+			// Evictions run on the owning client's clock: the deletes are
+			// that connection's work.
+			if err := evict(c.ctx); err != nil {
+				return err
+			}
+		}
+		op.svc = c.ctx.Clock.Total() - t0
+		op.app = c.ctx.Clock.Cycles(sim.CatApp) - a0
+		res.SerialOps++
+		commit(op)
+		return nil
+	}
+
+	afterRound := func(n int) {
+		if hooks.Step != nil && epochOpen {
+			var pause uint64
+			epochOpen, pause = hooks.Step(n)
+			if pause > 0 && vHigh+pause > stallUntil {
+				stallUntil = vHigh + pause
+			}
+		}
+	}
+
+	if hooks.EpochOpen != nil {
+		epochOpen = hooks.EpochOpen()
+	}
+	for dispatched < cfg.Ops {
+		if dispatched >= nextMaint {
+			nextMaint += cfg.MaintEvery
+			if hooks.Maintenance != nil {
+				if pause := hooks.Maintenance(vHigh); pause > 0 {
+					if vHigh+pause > stallUntil {
+						stallUntil = vHigh + pause
+					}
+				}
+			}
+			if hooks.EpochOpen != nil {
+				epochOpen = hooks.EpochOpen()
+			}
+		}
+		if cfg.MinVal2 > 0 && cfg.MaxVal2 >= cfg.MinVal2 && dispatched >= driftAt {
+			lo, hi = cfg.MinVal2, cfg.MaxVal2
+		}
+
+		// Collect a batch of commuting GETs in virtual-time order.
+		batch = batch[:0]
+		marks.newBatch()
+		canBatch := ps != nil && !epochOpen
+		for dispatched+len(batch) < cfg.Ops {
+			var op pendingOp
+			if carry != nil {
+				op, carry = *carry, nil
+			} else if len(heap.ids) > 0 {
+				op = genOp()
+			} else {
+				break // every client is already in the batch
+			}
+			if canBatch && op.isGet && len(batch) < cfg.MaxBatch && !footprintSets(op.key) {
+				acceptCand()
+				batch = append(batch, op)
+				continue
+			}
+			carry = &op
+			break
+		}
+
+		if len(batch) > 0 {
+			b := batch
+			if err := workpool.ForEach(len(b), func(i int) error {
+				execGet(&b[i])
+				return nil
+			}); err != nil {
+				return res, err
+			}
+			for i := range b {
+				commit(&b[i])
+			}
+			res.ParallelOps += len(b)
+			res.Batches++
+			afterRound(len(b))
+		}
+		if carry != nil && len(batch) == 0 {
+			op := carry
+			carry = nil
+			if err := execSerial(op); err != nil {
+				return res, err
+			}
+			afterRound(1)
+		}
+	}
+
+	// Drain any open epoch so Final reflects a quiesced machine.
+	if hooks.Step != nil {
+		for epochOpen {
+			epochOpen, _ = hooks.Step(cfg.MaxBatch)
+		}
+	}
+
+	res.Makespan = vHigh
+	res.SimCycles = ctx.Clock.Total()
+	for i := range clients {
+		res.SimCycles += clients[i].ctx.Clock.Total()
+	}
+	res.Final = foot()
+	return res, nil
+}

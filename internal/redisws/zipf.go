@@ -1,0 +1,69 @@
+package redisws
+
+import (
+	"math"
+
+	"ffccd/internal/workload"
+)
+
+// Zipf generates Zipfian-distributed ranks in [0, n): rank k is drawn with
+// probability proportional to 1/(k+1)^theta — the key-popularity skew of
+// cache workloads (YCSB uses theta = 0.99). This is Gray et al.'s constant-
+// time bounded-Zipfian sampler ("Quickly generating billion-record
+// synthetic databases", SIGMOD '94), which — unlike math/rand's Zipf —
+// supports theta < 1. Each Next consumes exactly one draw from the
+// counter-based stream, so the position stays a pure function of the
+// sample count.
+type Zipf struct {
+	rng   *workload.RNG
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta, thresh float64
+}
+
+// NewZipf prepares a sampler over n ranks with skew theta in (0, 1) ∪ (1, ∞).
+// The one-time zeta(n, theta) sum is O(n) host work.
+func NewZipf(rng *workload.RNG, n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("redisws.NewZipf: n == 0")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	z.thresh = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var s float64
+	for i := uint64(0); i < n; i++ {
+		s += 1 / math.Pow(float64(i+1), theta)
+	}
+	return s
+}
+
+// Next returns the next rank. Rank 0 is the most popular.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.thresh {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// Prob returns the theoretical probability of rank k — the reference
+// distribution the frequency test checks Next against.
+func (z *Zipf) Prob(k uint64) float64 {
+	return 1 / math.Pow(float64(k+1), z.theta) / z.zetan
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is the exported face of the counter-based skippable random source the
+// workload runner uses (see counterSource in runner.go): draw i of stream
+// seed is the pure function mix64(base(seed) + (i+1)·γ), so the whole
+// generator state is (seed, draw counter) and a checkpointed position
+// restores in O(1). Other packages (the redisws serving layer) build on it
+// so their runs checkpoint and fork like every other workload.
+//
+// RNG additionally implements math/rand's Source and Source64, so it can
+// seed a *rand.Rand when a derived distribution (e.g. rand.Zipf) is wanted;
+// note that rand.Rand adapters may consume draws at rates of their own
+// (Float64 retries, Intn rejection sampling), which stays deterministic but
+// makes per-call draw counts distribution-dependent.
+type RNG struct {
+	src counterSource
+}
+
+// NewRNG returns a counter-based source positioned at draw 0 of the stream
+// selected by seed. Adjacent seeds select unrelated streams.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	r.src.Seed(seed)
+	return r
+}
+
+// Uint64 returns the next 64 uniform bits, advancing the counter by one.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Int63 returns a uniform value in [0, 2^63), advancing the counter by one.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Seed repositions the stream (math/rand Source contract); the draw counter
+// resets to zero.
+func (r *RNG) Seed(seed int64) { r.src.Seed(seed) }
+
+// Draws returns the number of values drawn so far — the checkpointable
+// stream position.
+func (r *RNG) Draws() uint64 { return r.src.draws }
+
+// Skip positions the stream exactly n draws in, in O(1).
+func (r *RNG) Skip(n uint64) { r.src.skip(n) }
+
+// Intn returns a uniform value in [0, n). It always consumes exactly one
+// draw (unlike math/rand's rejection sampler), using the fixed-point
+// multiply reduction; the tiny modulo bias (< n/2^64) is irrelevant for
+// simulation workloads and worth the constant draw rate, which keeps
+// checkpoint positions a pure function of operation counts.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload.RNG.Intn: n <= 0")
+	}
+	hi, _ := bits.Mul64(r.src.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform value in [0, 1), consuming exactly one draw.
+func (r *RNG) Float64() float64 {
+	return float64(r.src.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1, consuming exactly
+// one draw (inverse transform, not math/rand's ziggurat).
+func (r *RNG) ExpFloat64() float64 {
+	// 1-Float64 is in (0,1], so the log argument never hits zero.
+	return -math.Log(1 - r.Float64())
+}

@@ -1,8 +1,7 @@
 #!/bin/sh
-# bench.sh — produce the machine-readable host-performance record BENCH_5.json.
+# bench.sh — produce the machine-readable host-performance record BENCH_6.json.
 #
-# Three row families, all over the Figure 5/14 drivers (the heaviest
-# experiment fan-outs), every row carrying host_cores and ffccd_parallel so
+# Four row families, every row carrying host_cores and ffccd_parallel so
 # scaling comparisons stay interpretable away from the machine they ran on:
 #
 #   1. Baseline rows at the working scale (span/fork on, their production
@@ -10,7 +9,14 @@
 #      comparison BENCH_3.json started tracked.
 #   2. Per-core scaling rows: fig5 under FFCCD_PARALLEL=1/2/4/8 (the env
 #      path, not -parallel, so the override plumbing is exercised too).
-#   3. Paper-scale rows: fig5 and fig14 at -scale paper (1.0, the paper's
+#   3. Serving rows: the open-loop SLO grid (serving experiment) — per-scheme
+#      p50/p99/p999 and their app/interference/stall/queue decomposition,
+#      demonstrating the FFCCD-vs-STW tail separation — plus in-run
+#      parallel-scaling rows under FFCCD_PARALLEL=1 and =4. Unlike family 2
+#      (which parallelizes across scheme variants), these exercise the
+#      batched-dispatch parallelism INSIDE one serving run; sim_cycles_total
+#      must be bit-identical across the pair.
+#   4. Paper-scale rows: fig5 and fig14 at -scale paper (1.0, the paper's
 #      full 5M-insert setup). Hours of wall-clock on a small host — skip
 #      with FFCCD_BENCH_PAPER=0.
 #
@@ -28,7 +34,7 @@ cd "$(dirname "$0")/.."
 SCALE="${1:-0.002}"
 REPEAT="${2:-2}"
 PAPER="${FFCCD_BENCH_PAPER:-1}"
-OUT="BENCH_5.json"
+OUT="BENCH_6.json"
 TMP="${TMPDIR:-/tmp}"
 
 go build -o "$TMP/ffccd-bench" ./cmd/ffccd-bench
@@ -43,22 +49,31 @@ run() { # run <outfile> [ffccd-bench args...]
 }
 
 # 1. Baseline rows at the working scale.
-run bench5_fig5.json -experiment fig5 -scale "$SCALE" -repeat "$REPEAT"
-run bench5_fig14.json -experiment fig14 -scale "$SCALE" -repeat "$REPEAT"
-run bench5_fig14_nofork.json -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT"
+run bench6_fig5.json -experiment fig5 -scale "$SCALE" -repeat "$REPEAT"
+run bench6_fig14.json -experiment fig14 -scale "$SCALE" -repeat "$REPEAT"
+run bench6_fig14_nofork.json -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT"
 
 # 2. Per-core scaling rows (env-var path on purpose).
 for P in 1 2 4 8; do
-	f="$TMP/bench5_fig5_p$P.json"
+	f="$TMP/bench6_fig5_p$P.json"
 	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
 		-experiment fig5 -scale "$SCALE" -repeat "$REPEAT" >/dev/null
 	parts="$parts $f"
 done
 
-# 3. Paper-scale rows (scale 1.0; a single repetition — these run for hours).
+# 3. Serving rows: the SLO grid, then the in-run parallel-scaling pair.
+run bench6_serving.json -experiment serving -scale "$SCALE" -repeat "$REPEAT"
+for P in 1 4; do
+	f="$TMP/bench6_serving_p$P.json"
+	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
+		-experiment serving -scale "$SCALE" >/dev/null
+	parts="$parts $f"
+done
+
+# 4. Paper-scale rows (scale 1.0; a single repetition — these run for hours).
 if [ "$PAPER" = 1 ]; then
-	run bench5_fig5_paper.json -experiment fig5 -scale paper
-	run bench5_fig14_paper.json -experiment fig14 -scale paper
+	run bench6_fig5_paper.json -experiment fig5 -scale paper
+	run bench6_fig14_paper.json -experiment fig14 -scale paper
 fi
 
 # Merge the per-configuration record arrays into one file.
