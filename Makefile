@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff servesmoke golden crashmatrix clean
+.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff benchgate servesmoke golden crashmatrix clean
 
 all: check
 
@@ -34,18 +34,26 @@ crashmatrix: build
 
 # check is the full CI target: gofmt + vet + race-detector short tests +
 # full tests + the reduced crash-schedule matrix + the measurement smoke +
-# the serving-layer smoke + the multicore scaling gate.
-check: fmt vet race test crashmatrix benchsmoke servesmoke benchscale
+# the serving-layer smoke + the multicore scaling gate + the bench-record
+# regression gate.
+check: fmt vet race test crashmatrix benchsmoke servesmoke benchscale benchgate
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
 # bench-host produces the machine-readable host-performance record
-# BENCH_6.json (see scripts/bench.sh and README.md). The paper-scale rows
+# BENCH_7.json (see scripts/bench.sh and README.md). The paper-scale rows
 # run for hours; FFCCD_BENCH_PAPER=0 scripts/bench.sh skips them.
 bench-host:
 	scripts/bench.sh
+
+# benchgate diffs the two newest committed BENCH_<n>.json records: any
+# sim_cycles_total drift fails (simulated behaviour changed), and a >15%
+# host_seconds regression on a like-for-like configuration fails
+# (FFCCD_BENCHGATE_TOL overrides). Skips cleanly with fewer than two files.
+benchgate:
+	$(GO) run ./scripts/bench_gate
 
 # benchscale is the multicore scaling gate: fig5 under FFCCD_PARALLEL=1 vs
 # =GOMAXPROCS must show a parallel speedup (work-stealing pool regression

@@ -21,7 +21,7 @@
 //
 //	ffccd-bench -experiment fig14 -trace out.json   # Perfetto-loadable trace
 //	ffccd-bench -experiment fig5 -trace-ring 256 -trace ring.json
-//	ffccd-bench -experiment all -httpobs localhost:6060  # expvar + pprof
+//	ffccd-bench -experiment all -httpobs localhost:6060  # expvar + pprof + OpenMetrics /metrics
 package main
 
 import (
@@ -84,6 +84,10 @@ type benchRecord struct {
 	// percentiles, counter groups, trace event counts) when -trace or
 	// -httpobs enabled per-run collection for this repetition.
 	Obs map[string]float64 `json:"obs,omitempty"`
+	// Windows carries the per-window time series (keyed by scheme) for
+	// experiments that expose one — the serving experiment's per-window SLO
+	// rows with worst-request exemplars.
+	Windows map[string][]obsv.WindowSnap `json:"windows,omitempty"`
 }
 
 func main() {
@@ -144,6 +148,20 @@ func main() {
 			}
 			return map[string]float64{}
 		}))
+		// /metrics: the most recent repetition's collection in OpenMetrics
+		// text format (histogram summaries, counter groups, per-window series
+		// with worst-request exemplars).
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			c := latestCol.Load()
+			if c == nil {
+				http.Error(w, "no collection yet", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			if err := c.WriteOpenMetrics(w); err != nil {
+				fmt.Fprintf(os.Stderr, "httpobs /metrics: %v\n", err)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*httpObs, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "httpobs: %v\n", err)
@@ -227,6 +245,13 @@ func main() {
 			rec.ForkRestoreSeconds = experiments.ForkRestoreSeconds()
 			if m, ok := out.(interface{ Metrics() map[string]float64 }); ok {
 				rec.Metrics = m.Metrics()
+			}
+			if wf, ok := out.(interface {
+				BenchWindows() map[string][]obsv.WindowSnap
+			}); ok {
+				if w := wf.BenchWindows(); len(w) > 0 {
+					rec.Windows = w
+				}
 			}
 			if col != nil {
 				experiments.SetObsCollector(nil)

@@ -7,11 +7,17 @@
 //
 //	ffccd-inspect             # clean pool
 //	ffccd-inspect -crash      # crash mid-epoch first, inspect the wreckage
+//	ffccd-inspect -timeline   # serving-path tail timeline, FFCCD vs STW
 //
 // Every run records a cycle-domain phase timeline (printed at the end). With
 // -crash the tracer runs in flight-recorder mode: a bounded ring of the
 // newest events per simulated thread, dumped at the instant of the fault —
 // the pre-crash forensics a real PM module's debug port would give you.
+//
+// -timeline runs the open-loop serving simulation for FFCCD and the
+// stop-the-world comparator and renders their per-window p999 series with
+// defrag-epoch/STW-pause overlays, so the tail spikes line up visually
+// against the GC phases that caused them.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"ffccd"
 	"ffccd/internal/alloc"
 	"ffccd/internal/checker"
+	"ffccd/internal/experiments"
 	"ffccd/internal/obsv"
 	"ffccd/internal/stats"
 )
@@ -31,7 +38,15 @@ func main() {
 	crash := flag.Bool("crash", false, "crash mid-defragmentation before inspecting")
 	keys := flag.Int("keys", 8000, "list entries to populate")
 	flightrec := flag.Int("flightrec", 64, "flight-recorder ring capacity per simulated thread for -crash runs")
+	timeline := flag.Bool("timeline", false, "render the serving-path tail timeline (FFCCD vs STW) and exit")
+	scale := flag.Float64("scale", 0.002, "workload scale for -timeline")
+	window := flag.Uint64("window", 0, "-timeline window width in simulated cycles (0 = scale-aware default)")
 	flag.Parse()
+
+	if *timeline {
+		runTimeline(*scale, *window)
+		return
+	}
 
 	cfg := ffccd.DefaultConfig()
 	rt := ffccd.NewRuntime(&cfg, 256<<20)
@@ -113,6 +128,42 @@ func main() {
 
 	fmt.Println("\nphase timeline (simulated time):")
 	fmt.Print(obsv.TimelineTable(obs))
+}
+
+// runTimeline renders the per-window p999 timeline of the serving scenario
+// for FFCCD and the STW comparator side by side, with GC overlay marks — the
+// terminal version of the paper's tail-interference story.
+func runTimeline(scale float64, window uint64) {
+	res, err := experiments.Serving(experiments.ServingOptions{
+		Scale:        scale,
+		Schemes:      []string{"ffccd", "stw"},
+		WindowCycles: window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving tail timeline: %d clients, %d ops, %.0f ops/s offered\n\n",
+		res.Clients, res.Ops, res.Rate)
+	for _, v := range res.Variants {
+		if v.Series == nil {
+			continue
+		}
+		fmt.Print(obsv.RenderTimeline(v.Series, 48))
+		if ex, ok := v.Series.WorstExemplar(); ok {
+			fmt.Printf("worst request: %s\n", ex)
+		}
+		ivs := v.Series.Intervals()
+		stw, ep := 0, 0
+		for _, iv := range ivs {
+			switch iv.Kind {
+			case obsv.IntervalSTW:
+				stw++
+			case obsv.IntervalEpoch:
+				ep++
+			}
+		}
+		fmt.Printf("overlays: %d stw pauses, %d concurrent epochs\n\n", stw, ep)
+	}
 }
 
 func dumpPhase(ctx *ffccd.Ctx, p *ffccd.Pool) {

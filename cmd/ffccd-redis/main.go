@@ -32,6 +32,8 @@ func main() {
 	ops := flag.Int("ops", 0, "serving mode: operations to dispatch (0 = scaled default)")
 	keys := flag.Int("keys", 0, "serving mode: keyspace size (0 = scaled default)")
 	seed := flag.Int64("seed", 7, "serving mode: RNG seed")
+	window := flag.Uint64("window", 0, "serving mode: time-series window width in simulated cycles (0 = scale-aware default)")
+	noWindows := flag.Bool("nowindows", false, "serving mode: disable the per-window time series")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -41,12 +43,14 @@ func main() {
 
 	if *clients > 0 {
 		opts := experiments.ServingOptions{
-			Scale:      *scale,
-			Clients:    *clients,
-			Ops:        *ops,
-			Keyspace:   *keys,
-			RatePerSec: *rate,
-			Seed:       *seed,
+			Scale:        *scale,
+			Clients:      *clients,
+			Ops:          *ops,
+			Keyspace:     *keys,
+			RatePerSec:   *rate,
+			Seed:         *seed,
+			WindowCycles: *window,
+			NoWindows:    *noWindows,
 		}
 		if *scheme != "all" {
 			opts.Schemes = []string{*scheme}

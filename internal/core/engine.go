@@ -252,6 +252,21 @@ func (e *Engine) SetObs(o *obsv.Obs) {
 	o.Metrics.RegisterGroup("checklookup", e.cluStats.Map)
 }
 
+// OpenEpoch reports the number of the currently open defragmentation epoch
+// (false when the engine is idle). It is observability-safe: it reads only
+// the engine's own epoch pointer under its mutex — no simulated cycles are
+// charged and no device state is touched — so serving-path exemplar tagging
+// can call it per dispatch without perturbing results.
+func (e *Engine) OpenEpoch() (uint64, bool) {
+	e.mu.Lock()
+	ep := e.epoch
+	e.mu.Unlock()
+	if ep == nil {
+		return 0, false
+	}
+	return ep.epochNo, true
+}
+
 // checkTrigger is the pmalloc/pfree hook (§5): signal the engine when the
 // fragmentation ratio crosses the trigger threshold.
 func (e *Engine) checkTrigger() {
@@ -424,6 +439,11 @@ func (e *Engine) prepare(ctx *sim.Ctx) *epochState {
 		o.Tracer.Span(ctx, obsv.KindSTW, t0, 0)
 		e.hSTW.Observe(obsv.Now(ctx) - t0)
 		o.Tracer.Instant(ctx, obsv.KindTrigger, began)
+		var eno uint64
+		if ep != nil {
+			eno = ep.epochNo
+		}
+		o.Intervals.Add(obsv.IntervalSTW, t0, obsv.Now(ctx), eno)
 	}
 	if ep == nil {
 		return nil

@@ -42,6 +42,7 @@ func Recover(ctx *sim.Ctx, p *pmop.Pool, opt Options) (*Engine, error) {
 	}
 	if o := e.obs; o != nil {
 		o.Tracer.Span(rctx, obsv.KindRecovery, t0, 0)
+		o.Intervals.Add(obsv.IntervalRecovery, t0, obsv.Now(rctx), 0)
 	}
 	return e, nil
 }

@@ -58,6 +58,7 @@ func (e *Engine) RunCycleSTW(ctx *sim.Ctx) (uint64, bool) {
 	if o := e.obs; o != nil {
 		o.Tracer.Span(ctx, obsv.KindSTW, start, 0)
 		e.hSTW.Observe(pause)
+		o.Intervals.Add(obsv.IntervalSTW, start, ctx.Clock.Total(), ep.epochNo)
 	}
 	return pause, true
 }

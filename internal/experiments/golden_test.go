@@ -244,6 +244,26 @@ func TestTracingDoesNotPerturb(t *testing.T) {
 	if flat["stw_pause_cycles.count"] == 0 {
 		t.Error("no STW pauses recorded; FFCCD run should have triggered epochs")
 	}
+	// The overlay-interval taps (epoch spans, STW pauses) must have fired
+	// too — they share the non-perturbation contract this test pins.
+	_, procs := col.Processes()
+	stwIvs, epochIvs := 0, 0
+	for _, o := range procs {
+		for _, iv := range o.Intervals.Intervals() {
+			if iv.End <= iv.Start {
+				t.Errorf("degenerate overlay interval %+v", iv)
+			}
+			switch iv.Kind {
+			case obsv.IntervalSTW:
+				stwIvs++
+			case obsv.IntervalEpoch:
+				epochIvs++
+			}
+		}
+	}
+	if stwIvs == 0 || epochIvs == 0 {
+		t.Errorf("overlay intervals missing (stw=%d epoch=%d); interval taps were dead", stwIvs, epochIvs)
+	}
 }
 
 // TestCycleDeterminism runs the same spec twice in one process and demands

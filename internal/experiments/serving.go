@@ -8,6 +8,7 @@ import (
 	"ffccd/internal/core"
 	"ffccd/internal/kv"
 	"ffccd/internal/mesh"
+	"ffccd/internal/obsv"
 	"ffccd/internal/redisws"
 	"ffccd/internal/sim"
 	"ffccd/internal/stats"
@@ -24,6 +25,16 @@ type ServingOptions struct {
 	RatePerSec float64 // <= 0 auto-calibrates (each scheme lands on the same rate)
 	Seed       int64
 	Schemes    []string // subset of "none", "ffccd", "stw", "mesh"; nil = all
+
+	// WindowCycles is the time-series window width in simulated cycles
+	// (0 = obsv.DefaultWindowCycles). ExemplarK is the worst-request
+	// exemplars kept per window (0 = obsv.DefaultExemplarK).
+	WindowCycles uint64
+	ExemplarK    int
+	// NoWindows disables the windowed time series. The layer is
+	// non-perturbing either way; the knob exists for the bit-identity tests
+	// that pin exactly that.
+	NoWindows bool
 }
 
 // ServingVariant is one scheme's serving run.
@@ -44,6 +55,11 @@ type ServingVariant struct {
 	Serial     int
 	Batches    int
 	Evictions  int
+
+	// Series is the run's windowed time series (per-window SLO metrics,
+	// worst-request exemplars, GC overlay intervals); nil when
+	// ServingOptions.NoWindows was set.
+	Series *obsv.TimeSeries
 }
 
 // ServingResult is the whole serving grid.
@@ -76,6 +92,21 @@ func servingDefaults(o ServingOptions) ServingOptions {
 	}
 	if len(o.Schemes) == 0 {
 		o.Schemes = []string{"none", "ffccd", "stw", "mesh"}
+	}
+	if o.WindowCycles == 0 {
+		// Scale-aware default: the run's virtual makespan grows roughly
+		// linearly with Scale (ops ∝ keyspace ∝ scale at a calibrated fixed
+		// utilization), so a proportional window keeps the timeline at a
+		// useful row count at any scale. 0.002 → 1M cycles (~0.4ms); capped
+		// at obsv.DefaultWindowCycles (50M) for paper-scale runs.
+		w := uint64(o.Scale * 500_000_000)
+		if w < 250_000 {
+			w = 250_000
+		}
+		if w > obsv.DefaultWindowCycles {
+			w = obsv.DefaultWindowCycles
+		}
+		o.WindowCycles = w
 	}
 	return o
 }
@@ -139,6 +170,7 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 	var hooks redisws.ServeHooks
 	gcCtx := sim.NewCtx(&env.Cfg)
 	name := scheme
+	var eng *core.Engine
 	var closeEng func()
 	defer func() {
 		if closeEng != nil {
@@ -152,7 +184,7 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 	case "ffccd":
 		name = "FFCCD"
 		opt := core.Options{Scheme: core.SchemeFFCCDCheckLookup, TriggerRatio: 1.10, TargetRatio: 1.01, BatchObjects: 64}
-		eng := core.NewEngine(env.Pool, opt)
+		eng = core.NewEngine(env.Pool, opt)
 		closeEng = eng.Close
 		open := false
 		hooks.Maintenance = func(uint64) uint64 {
@@ -183,7 +215,7 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 	case "stw":
 		name = "STW defrag"
 		opt := core.Options{Scheme: core.SchemeEspresso, TriggerRatio: 1.10, TargetRatio: 1.01, BatchObjects: 64}
-		eng := core.NewEngine(env.Pool, opt)
+		eng = core.NewEngine(env.Pool, opt)
 		closeEng = eng.Close
 		hooks.Maintenance = func(uint64) uint64 {
 			if env.Pool.Heap().Frag(12).FragRatio <= opt.TriggerRatio {
@@ -203,6 +235,26 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 		hooks.Foot = func() alloc.FragStats { return d.PhysFrag(12) }
 	default:
 		return ServingVariant{}, 0, fmt.Errorf("experiments.Serving: unknown scheme %q", scheme)
+	}
+
+	var series *obsv.TimeSeries
+	if !o.NoWindows {
+		series = obsv.NewTimeSeries(scheme, o.WindowCycles, o.ExemplarK)
+		hooks.Series = series
+		if eng != nil {
+			hooks.EpochInfo = eng.OpenEpoch
+		}
+	}
+	if col := obsCollector.Load(); col != nil {
+		ob := col.NewObs("serving/" + scheme)
+		ob.Series = series
+		ob.Tracer.Name(env.Ctx, "loader")
+		ob.Tracer.Name(gcCtx, "gc")
+		env.Pool.Device().SetObs(ob)
+		if eng != nil {
+			eng.SetObs(ob)
+		}
+		registerRunGroups(ob, env.Ctx, gcCtx, eng)
 	}
 
 	out, err := redisws.Serve(env.Ctx, env.Pool, store, cfg, hooks)
@@ -226,6 +278,7 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 		Serial:     out.SerialOps,
 		Batches:    out.Batches,
 		Evictions:  out.Evictions,
+		Series:     series,
 	}
 	if out.Gets > 0 {
 		v.HitRate = float64(out.Hits) / float64(out.Gets)
@@ -244,7 +297,42 @@ func (r ServingResult) String() string {
 			v.MeanApp, v.MeanInterf, v.MeanStall, v.MeanQueue, v.HitRate*100, v.FinalFragR, v.Parallel)
 	}
 	b.WriteString(t.String())
+	for _, v := range r.Variants {
+		if v.Series == nil || v.Series.Count() == 0 {
+			continue
+		}
+		b.WriteString("\nper-window p999 — " + v.Name + ":\n")
+		b.WriteString(obsv.RenderTimeline(v.Series, 40))
+		if ex, ok := v.Series.WorstExemplar(); ok {
+			fmt.Fprintf(&b, "worst request: %s\n", ex)
+		}
+	}
 	return b.String()
+}
+
+// CSV renders the per-window time series of every scheme as CSV rows (with
+// header), the per-window export ffccd-bench -csv embeds in bench records.
+func (r ServingResult) CSV() string {
+	var b strings.Builder
+	b.WriteString(obsv.CSVHeader + "\n")
+	for _, v := range r.Variants {
+		if v.Series != nil {
+			b.WriteString(v.Series.CSV())
+		}
+	}
+	return b.String()
+}
+
+// BenchWindows returns the per-window series keyed by scheme, the JSON shape
+// bench records carry.
+func (r ServingResult) BenchWindows() map[string][]obsv.WindowSnap {
+	out := map[string][]obsv.WindowSnap{}
+	for _, v := range r.Variants {
+		if v.Series != nil && v.Series.Count() > 0 {
+			out[schemeKey(v.Name)] = v.Series.Windows()
+		}
+	}
+	return out
 }
 
 // Metrics flattens the grid for benchmark records; sim_cycles_total is the
@@ -272,6 +360,17 @@ func (r ServingResult) Metrics() map[string]float64 {
 		m[k+"parallel_ops"] = float64(v.Parallel)
 		m[k+"serial_ops"] = float64(v.Serial)
 		m[k+"batches"] = float64(v.Batches)
+		if v.Series != nil {
+			wins := v.Series.Windows()
+			m[k+"windows"] = float64(len(wins))
+			var worst uint64
+			for _, w := range wins {
+				if w.P999 > worst {
+					worst = w.P999
+				}
+			}
+			m[k+"worst_window_p999_cycles"] = float64(worst)
+		}
 		total += v.SimCycles
 	}
 	m["sim_cycles_total"] = float64(total)

@@ -42,6 +42,10 @@ func (c *Collector) NewObs(name string) *Obs {
 // RingCap returns the flight-recorder capacity the collector was built with.
 func (c *Collector) RingCap() int { return c.ringCap }
 
+// Processes returns the registered process names and observability bundles,
+// in creation order.
+func (c *Collector) Processes() ([]string, []*Obs) { return c.snapshot() }
+
 func (c *Collector) snapshot() (names []string, procs []*Obs) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -130,7 +134,11 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 				}
 				evs = append(evs, ce)
 			}
-			for lane, label := range lanesSeen {
+			for lane := 0; lane < lanesPerThread; lane++ {
+				label, ok := lanesSeen[lane]
+				if !ok {
+					continue
+				}
 				evs = append(evs, chromeEvent{
 					Name: "thread_name", Ph: "M", Pid: pid,
 					Tid:  b.ID*lanesPerThread + lane,
@@ -241,8 +249,14 @@ func TimelineTable(o *Obs) string {
 	return t.String()
 }
 
+// flightRecorderWindows is how many completed metric windows a crash dump
+// renders: the tail trajectory leading into the fault.
+const flightRecorderWindows = 8
+
 // WriteFlightRecorder dumps a flight-recorder ring (or any Obs) as a text
-// timeline plus drop counts — what crash harnesses write at the fault.
+// timeline plus drop counts — what crash harnesses write at the fault. When
+// the Obs carries a windowed time series, the last few completed windows are
+// appended so post-crash inspection shows the tail trajectory into the crash.
 func WriteFlightRecorder(w io.Writer, o *Obs) error {
 	if _, err := fmt.Fprintf(w, "flight recorder dump (crashed=%v, events=%d)\n",
 		o.Tracer.Crashed(), o.Tracer.EventCount()); err != nil {
@@ -256,8 +270,30 @@ func WriteFlightRecorder(w io.Writer, o *Obs) error {
 			}
 		}
 	}
-	_, err := io.WriteString(w, TimelineTable(o))
-	return err
+	if _, err := io.WriteString(w, TimelineTable(o)); err != nil {
+		return err
+	}
+	if o.Series != nil && o.Series.Count() > 0 {
+		wins := o.Series.LastWindows(flightRecorderWindows)
+		if _, err := fmt.Fprintf(w, "last %d metric windows before the fault:\n", len(wins)); err != nil {
+			return err
+		}
+		t := stats.NewTable("window", "start_ms", "ops", "p50", "p999", "worst_cause")
+		for _, win := range wins {
+			cause := "-"
+			if len(win.Exemplars) > 0 {
+				cause = win.Exemplars[0].Cause.Dominant()
+			}
+			t.Add(fmt.Sprintf("%d", win.Index),
+				fmt.Sprintf("%.3f", sim.CyclesToMillis(win.Start)),
+				fmt.Sprintf("%d", win.Count),
+				fmt.Sprintf("%d", win.P50), fmt.Sprintf("%d", win.P999), cause)
+		}
+		if _, err := io.WriteString(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteChromeTraceAll merges several collectors (e.g. one per benchmark

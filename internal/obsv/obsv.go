@@ -249,6 +249,16 @@ type Obs struct {
 	Tracer  *Tracer
 	Metrics *Registry
 
+	// Intervals collects GC overlay annotations (epoch spans, STW pauses,
+	// recovery) in machine-global virtual time, the series a timeline
+	// renders under its latency windows.
+	Intervals *IntervalLog
+
+	// Series, when set, is the run's windowed time series (per-window SLO
+	// metrics and worst-request exemplars). Wired by serving harnesses; nil
+	// for runs without a request stream.
+	Series *TimeSeries
+
 	// OnCrash, when set, runs after a simulated power failure is recorded
 	// (Device.Crash). Flight-recorder harnesses use it to dump the ring at
 	// the moment of the fault.
@@ -258,5 +268,5 @@ type Obs struct {
 // New builds an enabled observability bundle. ringCap > 0 selects
 // flight-recorder mode (see NewTracer).
 func New(ringCap int) *Obs {
-	return &Obs{Tracer: NewTracer(ringCap), Metrics: NewRegistry()}
+	return &Obs{Tracer: NewTracer(ringCap), Metrics: NewRegistry(), Intervals: &IntervalLog{}}
 }

@@ -1,0 +1,204 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ffccd/internal/sim"
+)
+
+func sampleAt(complete, lat uint64, key uint64) OpSample {
+	return OpSample{
+		Arrival: complete - lat, Start: complete - lat, Complete: complete,
+		App: lat, Cause: StallCause{Scheme: "t", Phase: "idle", App: lat, Key: key, CacheSet: -1},
+	}
+}
+
+func TestTimeSeriesBucketsByCompletion(t *testing.T) {
+	ts := NewTimeSeries("t", 1000, 2)
+	ts.ObserveOp(sampleAt(10, 5, 1))   // window 0
+	ts.ObserveOp(sampleAt(999, 50, 2)) // window 0
+	ts.ObserveOp(sampleAt(1000, 7, 3)) // window 1
+	ts.ObserveOp(sampleAt(5500, 9, 4)) // window 5 (gap: 2-4 empty)
+	wins := ts.Windows()
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3 populated", len(wins))
+	}
+	if wins[0].Index != 0 || wins[1].Index != 1 || wins[2].Index != 5 {
+		t.Fatalf("window indices %d/%d/%d", wins[0].Index, wins[1].Index, wins[2].Index)
+	}
+	if wins[0].Count != 2 || wins[1].Count != 1 || wins[2].Count != 1 {
+		t.Fatalf("window counts %d/%d/%d", wins[0].Count, wins[1].Count, wins[2].Count)
+	}
+	if wins[2].Start != 5000 || wins[2].End != 6000 {
+		t.Fatalf("window 5 bounds [%d,%d)", wins[2].Start, wins[2].End)
+	}
+	if ts.Count() != 4 {
+		t.Fatalf("count %d", ts.Count())
+	}
+	// Throughput: 2 completions per 1000 cycles.
+	if want := 2 * float64(sim.CyclesPerSecond) / 1000; wins[0].ThroughputOpsSec != want {
+		t.Fatalf("throughput %v want %v", wins[0].ThroughputOpsSec, want)
+	}
+	last := ts.LastWindows(2)
+	if len(last) != 2 || last[0].Index != 1 || last[1].Index != 5 {
+		t.Fatalf("LastWindows(2) = %+v", last)
+	}
+}
+
+func TestTimeSeriesWorstKExemplars(t *testing.T) {
+	ts := NewTimeSeries("t", 1_000_000, 3)
+	lats := []uint64{10, 500, 20, 500, 90, 3, 700}
+	for i, l := range lats {
+		ts.ObserveOp(sampleAt(1000*uint64(i+1), l, uint64(i)))
+	}
+	w := ts.Windows()[0]
+	if len(w.Exemplars) != 3 {
+		t.Fatalf("kept %d exemplars, want 3", len(w.Exemplars))
+	}
+	got := []uint64{w.Exemplars[0].Latency, w.Exemplars[1].Latency, w.Exemplars[2].Latency}
+	if got[0] != 700 || got[1] != 500 || got[2] != 500 {
+		t.Fatalf("worst-3 latencies %v", got)
+	}
+	// Tie at 500: earlier arrival (key 1, completion 2000) must rank first.
+	if w.Exemplars[1].Cause.Key != 1 || w.Exemplars[2].Cause.Key != 3 {
+		t.Fatalf("tie-break keys %d/%d, want 1/3", w.Exemplars[1].Cause.Key, w.Exemplars[2].Cause.Key)
+	}
+	if ex, ok := ts.WorstExemplar(); !ok || ex.Latency != 700 {
+		t.Fatalf("worst exemplar = %+v ok=%v", ex, ok)
+	}
+}
+
+func TestIntervalOverlapAndFlags(t *testing.T) {
+	iv := Interval{Kind: IntervalSTW, Start: 100, End: 200}
+	for _, c := range []struct {
+		s, e uint64
+		want bool
+	}{
+		{0, 100, false}, {200, 300, false}, // half-open: touching ends don't overlap
+		{0, 101, true}, {199, 300, true}, {120, 130, true}, {0, 1000, true},
+	} {
+		if got := iv.Overlaps(c.s, c.e); got != c.want {
+			t.Fatalf("Overlaps(%d,%d) = %v want %v", c.s, c.e, got, c.want)
+		}
+	}
+
+	ts := NewTimeSeries("t", 1000, 1)
+	ts.ObserveOp(sampleAt(500, 5, 1))           // window 0
+	ts.ObserveOp(sampleAt(1500, 5, 2))          // window 1
+	ts.ObserveOp(sampleAt(2500, 5, 3))          // window 2
+	ts.AddInterval(IntervalSTW, 1200, 1300, 0)  // inside window 1 only
+	ts.AddInterval(IntervalEpoch, 900, 1100, 7) // straddles windows 0 and 1
+	wins := ts.Windows()
+	if wins[0].STWOverlap || !wins[0].EpochOverlap {
+		t.Fatalf("window 0 flags stw=%v epoch=%v", wins[0].STWOverlap, wins[0].EpochOverlap)
+	}
+	if !wins[1].STWOverlap || !wins[1].EpochOverlap {
+		t.Fatalf("window 1 flags stw=%v epoch=%v", wins[1].STWOverlap, wins[1].EpochOverlap)
+	}
+	if wins[2].STWOverlap || wins[2].EpochOverlap {
+		t.Fatalf("window 2 flags stw=%v epoch=%v", wins[2].STWOverlap, wins[2].EpochOverlap)
+	}
+}
+
+func TestStallCauseDominant(t *testing.T) {
+	for _, c := range []struct {
+		cause StallCause
+		want  string
+	}{
+		{StallCause{App: 10}, "app"},
+		{StallCause{App: 10, WPQDrain: 20}, "wpq-drain"},
+		{StallCause{App: 10, Interf: 30}, "barrier"},
+		{StallCause{App: 10, STWWait: 40}, "stw"},
+		{StallCause{App: 10, STWWait: 40, QueueWait: 50}, "queue"},
+		{StallCause{}, "app"}, // all-zero defaults to app
+	} {
+		if got := c.cause.Dominant(); got != c.want {
+			t.Fatalf("Dominant(%+v) = %q want %q", c.cause, got, c.want)
+		}
+	}
+}
+
+func TestTimeSeriesCSVAndTimeline(t *testing.T) {
+	ts := NewTimeSeries("ffccd", 1000, 2)
+	ts.ObserveOp(sampleAt(500, 100, 1))
+	big := sampleAt(1500, 900, 2)
+	big.Cause.App = 50 // stall, not service, dominates this request
+	big.Cause.STWWait, big.Cause.STWRef, big.Cause.Phase, big.Cause.Epoch = 800, 600, "compacting", 3
+	big.Stall = 800
+	ts.ObserveOp(big)
+	ts.AddInterval(IntervalSTW, 400, 600, 3)
+
+	csv := ts.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv rows = %d:\n%s", len(lines), csv)
+	}
+	if cols := strings.Split(lines[0], ","); len(cols) != len(strings.Split(CSVHeader, ",")) {
+		t.Fatalf("csv row has %d cols, header %d", len(cols), len(strings.Split(CSVHeader, ",")))
+	}
+	if !strings.HasPrefix(lines[0], "ffccd,0,0,1000,1,") {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	// Window 1 carries the stw-dominant worst exemplar and its chain ref.
+	if !strings.Contains(lines[1], ",stw,3,600") {
+		t.Fatalf("row 1 missing worst-cause columns: %q", lines[1])
+	}
+
+	tl := RenderTimeline(ts, 20)
+	tlLines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(tlLines) != 4 { // title + header + 2 windows
+		t.Fatalf("timeline has %d lines:\n%s", len(tlLines), tl)
+	}
+	if !strings.HasSuffix(tlLines[2], " S") {
+		t.Fatalf("window 0 row missing S overlay mark: %q", tlLines[2])
+	}
+	if !strings.Contains(tlLines[3], strings.Repeat("#", 20)) {
+		t.Fatalf("worst window bar not full scale: %q", tlLines[3])
+	}
+	if empty := RenderTimeline(NewTimeSeries("x", 0, 0), 0); !strings.Contains(empty, "no windows") {
+		t.Fatalf("empty render = %q", empty)
+	}
+}
+
+func TestFlightRecorderIncludesWindows(t *testing.T) {
+	o := New(4)
+	ts := NewTimeSeries("ffccd", 1000, 1)
+	for i := uint64(0); i < 12; i++ {
+		s := sampleAt(i*1000+500, 10+i, i)
+		s.Cause.QueueWait = 100 + i
+		ts.ObserveOp(s)
+	}
+	o.Series = ts
+	o.Tracer.MarkCrash()
+	var buf bytes.Buffer
+	if err := WriteFlightRecorder(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "last 8 metric windows before the fault") {
+		t.Fatalf("dump missing window section:\n%s", out)
+	}
+	// Only the newest flightRecorderWindows windows appear: window 3 was
+	// truncated, window 4 starts the tail, and the worst cause is rendered.
+	if strings.Contains(out, "\n3 ") {
+		t.Fatalf("dump shows truncated window 3:\n%s", out)
+	}
+	for _, want := range []string{"\n4 ", "\n11 ", "queue"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without a series the dump must stay window-free.
+	o2 := New(2)
+	o2.Tracer.MarkCrash()
+	buf.Reset()
+	if err := WriteFlightRecorder(&buf, o2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "metric windows") {
+		t.Fatalf("seriesless dump rendered windows:\n%s", buf.String())
+	}
+}

@@ -180,6 +180,13 @@ type Device struct {
 	hWPQ    *obsv.Histogram
 	ringRec bool
 
+	// drainProbe, when set, is called at the end of every Sfence with the
+	// stall cycles the fence charged to the issuing context (drain bandwidth
+	// plus exposed write latency). It is a host-side read-only tap — the
+	// serving path uses it for per-request WPQ-drain attribution — and costs
+	// one nil check when unset.
+	drainProbe func(ctx *sim.Ctx, stallCycles uint64)
+
 	// sites is the armed crash-site recorder (nil when disarmed — the
 	// default; see site.go). Atomic so arming/disarming never touches the
 	// per-access locks.
@@ -230,6 +237,12 @@ func (d *Device) SetObs(o *obsv.Obs) {
 		}
 	})
 }
+
+// SetDrainProbe installs (or with nil removes) the per-fence stall tap: fn
+// runs at the end of every Sfence with the issuing context and the stall
+// cycles the fence charged. fn must not charge cycles or touch device state.
+// Call only on a quiescent device.
+func (d *Device) SetDrainProbe(fn func(ctx *sim.Ctx, stallCycles uint64)) { d.drainProbe = fn }
 
 // SetExclusive declares that exactly one goroutine will use the device until
 // the flag is cleared, allowing the per-access locks to be skipped. Call only

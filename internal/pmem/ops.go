@@ -373,9 +373,11 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 		set.inflight = set.inflight[:0]
 		d.unlockSet(set)
 	}
+	var stall uint64
 	if drained > 0 {
 		d.ctxShard(ctx).c[cMediaWrites].Add(uint64(drained))
-		ctx.Charge(uint64(drained) * d.cfg.PMWriteBandwidthPenalty)
+		stall = uint64(drained) * d.cfg.PMWriteBandwidthPenalty
+		ctx.Charge(stall)
 	}
 	if h := d.hWPQ; h != nil {
 		h.Observe(uint64(drained))
@@ -394,10 +396,15 @@ func (d *Device) Sfence(ctx *sim.Ctx) {
 		// The fence exposes the full PM write latency — the stall FFCCD's
 		// fence-free design eliminates (§3.3.3).
 		ctx.Charge(d.cfg.PMWriteLatency)
+		stall += d.cfg.PMWriteLatency
 	} else {
 		ctx.Charge(d.cfg.WPQLatency)
+		stall += d.cfg.WPQLatency
 	}
 	ctx.PendingFlushes = 0
+	if p := d.drainProbe; p != nil {
+		p(ctx, stall)
+	}
 }
 
 // FlushAll writes every dirty cached line back to media (clwb+sfence over

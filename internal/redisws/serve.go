@@ -102,6 +102,19 @@ type ServeHooks struct {
 	EpochOpen func() bool
 	// Foot overrides the footprint source (Mesh reports physical frames).
 	Foot FootprintFn
+
+	// Series, when non-nil, receives the run's windowed time series: per-op
+	// samples with a full stall-cause record, plus epoch/STW overlay
+	// intervals, all in the run's virtual-time domain. The layer is purely
+	// observational — it reads committed values and non-perturbing peeks,
+	// never charges a simulated cycle, and draws from no RNG stream — so
+	// simulated results are bit-identical with or without it (pinned by
+	// TestServeWindowsDoNotPerturb).
+	Series *obsv.TimeSeries
+	// EpochInfo reports the open defragmentation epoch for exemplar tagging
+	// (0, false when idle). Must be observability-safe (no cycle charges);
+	// core.Engine.OpenEpoch qualifies. Optional.
+	EpochInfo func() (epoch uint64, open bool)
 }
 
 // ServeResult is a completed serving run.
@@ -148,6 +161,7 @@ type pendingOp struct {
 	arrival uint64
 	// filled by execution:
 	svc, app uint64
+	wpq      uint64 // fence-drain stall cycles within svc (series runs only)
 	hit      bool
 }
 
@@ -156,6 +170,9 @@ type clientState struct {
 	ctx         *sim.Ctx
 	nextArrival uint64
 	readyAt     uint64
+	// stwRef is the end cycle of the STW pause the connection's delay chain
+	// currently leads back to (0 = none); see StallCause.STWRef.
+	stwRef uint64
 }
 
 // clientHeap is a binary min-heap of client ids ordered by (base, id),
@@ -389,6 +406,58 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		driftAt    = cfg.Ops / 2
 	)
 
+	// Time-series instrumentation (nil/zero-cost when hooks.Series is unset).
+	series := hooks.Series
+	var drainByCli []uint64
+	if series != nil {
+		// Per-fence stall attribution: the device probe maps the issuing
+		// context's shard back to its client. A client never executes two ops
+		// concurrently (it re-enters the heap only at commit) and batched ops
+		// are fence-free GETs, so the per-client slots are race-free.
+		drainByCli = make([]uint64, cfg.Clients)
+		shard2cli := make(map[uint32]int, cfg.Clients)
+		for i := range clients {
+			shard2cli[clients[i].ctx.Shard] = i
+		}
+		dev.SetDrainProbe(func(c *sim.Ctx, cycles uint64) {
+			if i, ok := shard2cli[c.Shard]; ok {
+				drainByCli[i] += cycles
+			}
+		})
+		defer dev.SetDrainProbe(nil)
+	}
+	// epTrack mirrors epochOpen transitions into overlay intervals.
+	var epTrack struct {
+		open  bool
+		start uint64
+		id    uint64
+	}
+	noteEpoch := func(now uint64) {
+		if series == nil || epochOpen == epTrack.open {
+			return
+		}
+		if epochOpen {
+			epTrack.open, epTrack.start, epTrack.id = true, now, 0
+			if hooks.EpochInfo != nil {
+				epTrack.id, _ = hooks.EpochInfo()
+			}
+		} else {
+			series.AddInterval(obsv.IntervalEpoch, epTrack.start, now, epTrack.id)
+			epTrack.open, epTrack.id = false, 0
+		}
+	}
+	// primarySet resolves an op's primary device cache set (its store
+	// footprint's first line) with non-perturbing peeks; -1 when unknown.
+	primarySet := func(key uint64) int {
+		set := -1
+		ps.GetFootprint(key, func(off, n uint64) {
+			if set < 0 {
+				set = int(dev.SetOfAddr(p.PA(off &^ (pmem.LineSize - 1))))
+			}
+		})
+		return set
+	}
+
 	// footprintSets stamps the candidate's predicted cache sets; reports
 	// whether it conflicts with the current batch.
 	footprintSets := func(key uint64) bool {
@@ -441,6 +510,10 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		c := &clients[op.cli]
 		t0 := c.ctx.Clock.Total()
 		a0 := c.ctx.Clock.Cycles(sim.CatApp)
+		var d0 uint64
+		if drainByCli != nil {
+			d0 = drainByCli[op.cli]
+		}
 		if ps != nil {
 			_, op.hit = ps.GetParallel(c.ctx, op.key)
 		} else {
@@ -448,6 +521,9 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		}
 		op.svc = c.ctx.Clock.Total() - t0
 		op.app = c.ctx.Clock.Cycles(sim.CatApp) - a0
+		if drainByCli != nil {
+			op.wpq = drainByCli[op.cli] - d0
+		}
 	}
 
 	// commit applies one executed op in dispatch order: latency accounting,
@@ -480,6 +556,50 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		res.StallWaitCycles += stallWait
 		res.QueueWaitCycles += queueWait
 
+		if series != nil {
+			pureApp := op.app
+			if op.wpq <= pureApp {
+				pureApp -= op.wpq
+			} else {
+				// Fence stalls charged outside CatApp (barrier relocations on
+				// the client's clock); leave them in WPQDrain only.
+				pureApp = 0
+			}
+			cause := obsv.StallCause{
+				Scheme:    series.Scheme(),
+				Phase:     "idle",
+				App:       pureApp,
+				WPQDrain:  op.wpq,
+				Interf:    op.svc - op.app,
+				STWWait:   stallWait,
+				QueueWait: queueWait,
+				CacheSet:  -1,
+				Key:       op.key,
+			}
+			if epochOpen {
+				cause.Phase, cause.Epoch = "compacting", epTrack.id
+			}
+			if ps != nil {
+				cause.CacheSet = primarySet(op.key)
+			}
+			// Chain attribution: a stalled op dispatched at the pause end; a
+			// queued op inherits its connection's pending attribution.
+			switch {
+			case stallWait > 0:
+				cause.STWRef = start
+				c.stwRef = start
+			case queueWait > 0 && c.stwRef != 0:
+				cause.STWRef = c.stwRef
+			default:
+				c.stwRef = 0
+			}
+			series.ObserveOp(obsv.OpSample{
+				Arrival: op.arrival, Start: start, Complete: comp,
+				App: op.app, Interf: op.svc - op.app, Stall: stallWait, Queue: queueWait,
+				Cause: cause,
+			})
+		}
+
 		if op.isGet {
 			res.Gets++
 			if op.hit {
@@ -508,6 +628,10 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		c := &clients[op.cli]
 		t0 := c.ctx.Clock.Total()
 		a0 := c.ctx.Clock.Cycles(sim.CatApp)
+		var d0 uint64
+		if drainByCli != nil {
+			d0 = drainByCli[op.cli]
+		}
 		if op.isGet {
 			_, op.hit = store.Get(c.ctx, op.key)
 		} else {
@@ -528,6 +652,9 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		}
 		op.svc = c.ctx.Clock.Total() - t0
 		op.app = c.ctx.Clock.Cycles(sim.CatApp) - a0
+		if drainByCli != nil {
+			op.wpq = drainByCli[op.cli] - d0
+		}
 		res.SerialOps++
 		commit(op)
 		return nil
@@ -538,13 +665,19 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 			var pause uint64
 			epochOpen, pause = hooks.Step(n)
 			if pause > 0 && vHigh+pause > stallUntil {
+				if series != nil {
+					// The terminate pause of the epoch being stepped.
+					series.AddInterval(obsv.IntervalSTW, vHigh, vHigh+pause, epTrack.id)
+				}
 				stallUntil = vHigh + pause
 			}
+			noteEpoch(vHigh)
 		}
 	}
 
 	if hooks.EpochOpen != nil {
 		epochOpen = hooks.EpochOpen()
+		noteEpoch(vHigh)
 	}
 	for dispatched < cfg.Ops {
 		if dispatched >= nextMaint {
@@ -552,12 +685,16 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 			if hooks.Maintenance != nil {
 				if pause := hooks.Maintenance(vHigh); pause > 0 {
 					if vHigh+pause > stallUntil {
+						if series != nil {
+							series.AddInterval(obsv.IntervalSTW, vHigh, vHigh+pause, epTrack.id)
+						}
 						stallUntil = vHigh + pause
 					}
 				}
 			}
 			if hooks.EpochOpen != nil {
 				epochOpen = hooks.EpochOpen()
+				noteEpoch(vHigh)
 			}
 		}
 		if cfg.MinVal2 > 0 && cfg.MaxVal2 >= cfg.MinVal2 && dispatched >= driftAt {
@@ -616,6 +753,7 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		for epochOpen {
 			epochOpen, _ = hooks.Step(cfg.MaxBatch)
 		}
+		noteEpoch(vHigh)
 	}
 
 	res.Makespan = vHigh

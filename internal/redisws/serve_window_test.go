@@ -1,0 +1,106 @@
+package redisws_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ffccd/internal/obsv"
+	"ffccd/internal/redisws"
+)
+
+// stallHooks injects one large STW pause mid-run (the TestServeStallSurfacesInTail
+// shape), so windowed runs have a real stall chain to attribute.
+func stallHooks(pause uint64) redisws.ServeHooks {
+	calls := 0
+	return redisws.ServeHooks{Maintenance: func(uint64) uint64 {
+		calls++
+		if calls == 10 {
+			return pause
+		}
+		return 0
+	}}
+}
+
+// TestServeWindowsDoNotPerturb is the serving-path bit-identity pin for the
+// time-series layer: enabling windows (per-op samples, exemplars, overlay
+// intervals, the device drain probe) must reproduce every simulated outcome —
+// counters, cycle sums, full histogram snapshots, sim cycle total — exactly,
+// while actually capturing windows, exemplars, and the injected STW pause.
+func TestServeWindowsDoNotPerturb(t *testing.T) {
+	const pause = 40_000_000
+	plain := summarize(runServe(t, serveCfg(), stallHooks(pause)))
+
+	series := obsv.NewTimeSeries("stw", 4_000_000, 3)
+	hooks := stallHooks(pause)
+	hooks.Series = series
+	hooks.EpochInfo = func() (uint64, bool) { return 0, false }
+	windowed := summarize(runServe(t, serveCfg(), hooks))
+
+	if !reflect.DeepEqual(plain, windowed) {
+		t.Errorf("windows perturbed the simulated outcome:\n  off: %+v\n  on : %+v", plain, windowed)
+	}
+
+	// The identical run must still have observed everything.
+	if got, want := series.Count(), uint64(plain.Ops); got != want {
+		t.Fatalf("series observed %d ops, run completed %d", got, want)
+	}
+	wins := series.Windows()
+	if len(wins) < 2 {
+		t.Fatalf("only %d windows; widen the run or shrink the window", len(wins))
+	}
+	var total uint64
+	sawExemplar, sawSTWFlag := false, false
+	for _, w := range wins {
+		total += w.Count
+		if w.Start != w.Index*series.WindowCycles() || w.End != w.Start+series.WindowCycles() {
+			t.Fatalf("window %d bounds [%d,%d) inconsistent with width %d", w.Index, w.Start, w.End, series.WindowCycles())
+		}
+		if len(w.Exemplars) > 0 {
+			sawExemplar = true
+			if w.Exemplars[0].Latency < w.Exemplars[len(w.Exemplars)-1].Latency {
+				t.Fatalf("window %d exemplars not worst-first", w.Index)
+			}
+		}
+		if w.STWOverlap {
+			sawSTWFlag = true
+		}
+	}
+	if total != series.Count() {
+		t.Fatalf("window counts sum %d != observed %d", total, series.Count())
+	}
+	if !sawExemplar {
+		t.Fatal("no window captured an exemplar")
+	}
+	if !sawSTWFlag {
+		t.Fatal("no window flagged the injected STW pause")
+	}
+
+	// Every exemplar that claims an STW chain must reference the End of a
+	// pause interval the overlay log independently recorded.
+	ends := map[uint64]bool{}
+	for _, iv := range series.Intervals() {
+		if iv.Kind == obsv.IntervalSTW {
+			if iv.End <= iv.Start {
+				t.Fatalf("degenerate stw interval %+v", iv)
+			}
+			ends[iv.End] = true
+		}
+	}
+	if len(ends) == 0 {
+		t.Fatal("injected pause recorded no IntervalSTW overlay")
+	}
+	refs := 0
+	for _, w := range wins {
+		for _, ex := range w.Exemplars {
+			if ref := ex.Cause.STWRef; ref != 0 {
+				refs++
+				if !ends[ref] {
+					t.Fatalf("exemplar stw_ref %d matches no recorded IntervalSTW end %v", ref, ends)
+				}
+			}
+		}
+	}
+	if refs == 0 {
+		t.Fatal("no exemplar chained back to the STW pause")
+	}
+}

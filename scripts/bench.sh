@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — produce the machine-readable host-performance record BENCH_6.json.
+# bench.sh — produce the machine-readable host-performance record BENCH_7.json.
 #
 # Four row families, every row carrying host_cores and ffccd_parallel so
 # scaling comparisons stay interpretable away from the machine they ran on:
@@ -15,7 +15,9 @@
 #      parallel-scaling rows under FFCCD_PARALLEL=1 and =4. Unlike family 2
 #      (which parallelizes across scheme variants), these exercise the
 #      batched-dispatch parallelism INSIDE one serving run; sim_cycles_total
-#      must be bit-identical across the pair.
+#      must be bit-identical across the pair. Serving rows also embed the
+#      per-window time series ("windows": per-scheme throughput, p50/p99/
+#      p999, cycle decomposition, and GC overlay flags per window).
 #   4. Paper-scale rows: fig5 and fig14 at -scale paper (1.0, the paper's
 #      full 5M-insert setup). Hours of wall-clock on a small host — skip
 #      with FFCCD_BENCH_PAPER=0.
@@ -34,7 +36,7 @@ cd "$(dirname "$0")/.."
 SCALE="${1:-0.002}"
 REPEAT="${2:-2}"
 PAPER="${FFCCD_BENCH_PAPER:-1}"
-OUT="BENCH_6.json"
+OUT="BENCH_7.json"
 TMP="${TMPDIR:-/tmp}"
 
 go build -o "$TMP/ffccd-bench" ./cmd/ffccd-bench
@@ -49,22 +51,22 @@ run() { # run <outfile> [ffccd-bench args...]
 }
 
 # 1. Baseline rows at the working scale.
-run bench6_fig5.json -experiment fig5 -scale "$SCALE" -repeat "$REPEAT"
-run bench6_fig14.json -experiment fig14 -scale "$SCALE" -repeat "$REPEAT"
-run bench6_fig14_nofork.json -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT"
+run bench7_fig5.json -experiment fig5 -scale "$SCALE" -repeat "$REPEAT"
+run bench7_fig14.json -experiment fig14 -scale "$SCALE" -repeat "$REPEAT"
+run bench7_fig14_nofork.json -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT"
 
 # 2. Per-core scaling rows (env-var path on purpose).
 for P in 1 2 4 8; do
-	f="$TMP/bench6_fig5_p$P.json"
+	f="$TMP/bench7_fig5_p$P.json"
 	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
 		-experiment fig5 -scale "$SCALE" -repeat "$REPEAT" >/dev/null
 	parts="$parts $f"
 done
 
 # 3. Serving rows: the SLO grid, then the in-run parallel-scaling pair.
-run bench6_serving.json -experiment serving -scale "$SCALE" -repeat "$REPEAT"
+run bench7_serving.json -experiment serving -scale "$SCALE" -repeat "$REPEAT"
 for P in 1 4; do
-	f="$TMP/bench6_serving_p$P.json"
+	f="$TMP/bench7_serving_p$P.json"
 	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
 		-experiment serving -scale "$SCALE" >/dev/null
 	parts="$parts $f"
@@ -72,8 +74,8 @@ done
 
 # 4. Paper-scale rows (scale 1.0; a single repetition — these run for hours).
 if [ "$PAPER" = 1 ]; then
-	run bench6_fig5_paper.json -experiment fig5 -scale paper
-	run bench6_fig14_paper.json -experiment fig14 -scale paper
+	run bench7_fig5_paper.json -experiment fig5 -scale paper
+	run bench7_fig14_paper.json -experiment fig14 -scale paper
 fi
 
 # Merge the per-configuration record arrays into one file.
