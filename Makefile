@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff benchgate servesmoke golden crashmatrix clean
+.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff benchgate servesmoke servecrash golden crashmatrix clean
 
 all: check
 
@@ -32,11 +32,22 @@ crashmatrix: build
 	$(GO) run ./cmd/ffccd-crashtest -sites -seed 1 -max-sites 12 \
 		-nested -max-nested 4 -timeout 2m
 
+# servecrash is the reduced SERVING-PATH crash campaign: every scheme, a
+# pinned seed, stratified site sampling over the open-loop dispatch phase,
+# nested crash-during-recovery schedules, and per-trial durable-ack
+# validation — the server must resume and every acknowledged SET must read
+# back after recovery. Failures print a `ffccd-crashtest -serve -repro`
+# command that replays bit-identically.
+servecrash: build
+	$(GO) run ./cmd/ffccd-crashtest -serve -seed 1 -max-sites 6 \
+		-nested -max-nested 2 -timeout 2m \
+		-serve-clients 4 -serve-ops 1200 -serve-keys 400
+
 # check is the full CI target: gofmt + vet + race-detector short tests +
 # full tests + the reduced crash-schedule matrix + the measurement smoke +
-# the serving-layer smoke + the multicore scaling gate + the bench-record
-# regression gate.
-check: fmt vet race test crashmatrix benchsmoke servesmoke benchscale benchgate
+# the serving-layer smoke + the serving-path crash campaign + the multicore
+# scaling gate + the bench-record regression gate.
+check: fmt vet race test crashmatrix benchsmoke servesmoke servecrash benchscale benchgate
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:

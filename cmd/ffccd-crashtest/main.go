@@ -17,9 +17,20 @@
 //	ffccd-crashtest -sites -nested -shrink
 //	ffccd-crashtest -sites -setting BzTree/4T/ffccd -max-sites 64
 //
+// Serving campaign (-serve): the online analogue. Per scheme, a census pass
+// under open-loop traffic enumerates the dispatch phase's crash sites, then
+// armed trials crash at selected sites and the run continues — recovery,
+// durable-ack validation, degraded-mode retry/backoff — to the full op
+// budget. Failures print one-line ServeRepro commands; the summary prints
+// sites-per-class coverage:
+//
+//	ffccd-crashtest -serve -max-sites 24 -nested
+//	ffccd-crashtest -serve -scheme ffccd -shrink
+//
 // Replay one schedule (the line a failing campaign printed):
 //
 //	ffccd-crashtest -repro '{"setting":"LL/1T/ffccd","seed":1,...}'
+//	ffccd-crashtest -serve -repro '{"scheme":"ffccd","clients":8,...}'
 //
 // -flightrec N arms a per-trial flight recorder: the newest N trace events
 // per simulated thread are kept in a ring and dumped at the injected crash,
@@ -50,6 +61,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count for trials (0 = GOMAXPROCS / FFCCD_PARALLEL)")
 	repro := flag.String("repro", "", "replay one scheduled trial from its repro line and exit")
 	flightrec := flag.Int("flightrec", 0, "dump a flight-recorder ring of the newest N events per simulated thread at each injected crash (0 = off)")
+	serve := flag.Bool("serve", false, "run the serving-path campaign (online crash-recovery-resume) instead of the batch campaigns")
+	scheme := flag.String("scheme", "all", "serving campaign: scheme to crash (none|ffccd|stw|mesh|all)")
+	serveClients := flag.Int("serve-clients", 0, "serving campaign: client connections (0 = default)")
+	serveOps := flag.Int("serve-ops", 0, "serving campaign: op budget per trial (0 = default)")
+	serveKeys := flag.Int("serve-keys", 0, "serving campaign: keyspace (0 = default)")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -69,7 +85,27 @@ func main() {
 	}
 
 	if *repro != "" {
+		if *serve {
+			os.Exit(runServeRepro(*repro))
+		}
 		os.Exit(runRepro(*repro, topts))
+	}
+	if *serve {
+		schemes := faultinject.ServeSchemes
+		if *scheme != "all" {
+			schemes = []string{*scheme}
+		}
+		os.Exit(runServeCampaign(schemes, faultinject.ServeCampaignOptions{
+			Seed:      *seed,
+			Clients:   *serveClients,
+			Ops:       *serveOps,
+			Keys:      *serveKeys,
+			MaxSites:  *maxSites,
+			Nested:    *nested,
+			MaxNested: *maxNested,
+			Timeout:   *timeout,
+			Shrink:    *shrink,
+		}))
 	}
 
 	settings := faultinject.AllSettings()
@@ -154,6 +190,65 @@ func runScheduled(settings []faultinject.Setting, co faultinject.CampaignOptions
 	if failures > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runServeCampaign is the serving-path crash exploration: one online
+// crash-recovery-resume trial per selected site, per scheme.
+func runServeCampaign(schemes []string, co faultinject.ServeCampaignOptions) int {
+	failures := 0
+	start := time.Now()
+	for _, scheme := range schemes {
+		t0 := time.Now()
+		out := faultinject.ExploreServeScheme(scheme, co)
+		status := "PASS"
+		if len(out.Failures) > 0 {
+			status = "FAIL"
+			failures += len(out.Failures)
+		}
+		fmt.Printf("serve/%-6s %s  %d/%d schedules, %d sites  coverage: %s  (%.1fs)\n",
+			scheme, status, out.Passed, out.Scheduled, out.SitesTotal,
+			out.CoverageString(), time.Since(t0).Seconds())
+		for i, f := range out.Failures {
+			if i >= 3 {
+				fmt.Printf("    ... %d more failures\n", len(out.Failures)-3)
+				break
+			}
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	fmt.Printf("\nserving campaign: %d failures, %.1fs\n", failures, time.Since(start).Seconds())
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runServeRepro replays one serving schedule and reports the verdict.
+func runServeRepro(line string) int {
+	rep, err := faultinject.ParseServeRepro(line)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	res, err := faultinject.RunServeScheduled(rep, faultinject.ServeTrialOptions{})
+	fmt.Printf("schedule: %s\n", rep.MarshalLine())
+	fmt.Printf("sites=%d", res.Census.Total)
+	if res.Crash != nil {
+		sv := res.Serve
+		fmt.Printf(" crash=%q recovery_sites=%d blackout=%d ttfa=%d retries=%d rejects=%d admitted=%d",
+			res.Crash.Error(), res.RecoveryCensus.Total, sv.BlackoutCycles,
+			sv.TimeToFirstAck, sv.Retries, sv.Rejects, sv.Admitted)
+	}
+	if res.NestedCrash != nil {
+		fmt.Printf(" nested_crash=%q", res.NestedCrash.Error())
+	}
+	fmt.Printf(" post_crash_hash=%#x final_hash=%#x\n", res.PostCrashHash, res.FinalHash)
+	if err != nil {
+		fmt.Printf("FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Println("PASS")
 	return 0
 }
 

@@ -17,7 +17,11 @@
 // -timeline runs the open-loop serving simulation for FFCCD and the
 // stop-the-world comparator and renders their per-window p999 series with
 // defrag-epoch/STW-pause overlays, so the tail spikes line up visually
-// against the GC phases that caused them.
+// against the GC phases that caused them. Adding -crash-at injects one
+// power failure per scheme at that fraction of its crash-site census and
+// renders the recovery blackout (R) and retry-backoff (B) overlays too:
+//
+//	ffccd-inspect -timeline -crash-at 0.5
 package main
 
 import (
@@ -41,10 +45,15 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render the serving-path tail timeline (FFCCD vs STW) and exit")
 	scale := flag.Float64("scale", 0.002, "workload scale for -timeline")
 	window := flag.Uint64("window", 0, "-timeline window width in simulated cycles (0 = scale-aware default)")
+	crashAt := flag.Float64("crash-at", 0, "-timeline: crash each scheme at this fraction of its site census (0 = no crash)")
 	flag.Parse()
 
 	if *timeline {
-		runTimeline(*scale, *window)
+		if *crashAt > 0 {
+			runCrashTimeline(*crashAt, *window)
+		} else {
+			runTimeline(*scale, *window)
+		}
 		return
 	}
 
@@ -163,6 +172,41 @@ func runTimeline(scale float64, window uint64) {
 			}
 		}
 		fmt.Printf("overlays: %d stw pauses, %d concurrent epochs\n\n", stw, ep)
+	}
+}
+
+// runCrashTimeline renders the availability grid's per-window p999 timelines:
+// one injected power failure per scheme, with the recovery blackout (R) and
+// retry-backoff (B) overlay marks alongside the usual S/E GC overlays.
+func runCrashTimeline(frac float64, window uint64) {
+	res, err := experiments.ServingCrash(experiments.ServingCrashOptions{
+		SiteFrac:     frac,
+		WindowCycles: window,
+		Schemes:      []string{"ffccd", "stw"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving crash timeline: %d clients, %d ops, crash at %.0f%% of each scheme's site census\n\n",
+		res.Clients, res.Ops, frac*100)
+	for _, v := range res.Variants {
+		if v.Series == nil {
+			continue
+		}
+		fmt.Printf("%s: crash@%d, resume@%d (blackout %d cycles, first ack +%d, p999 ramp %d cycles)\n",
+			v.Name, v.CrashCycle, v.ResumeCycle, v.BlackoutCycles, v.TimeToFirstAck, v.RampCycles)
+		fmt.Print(obsv.RenderTimeline(v.Series, 48))
+		rec, back := 0, 0
+		for _, iv := range v.Series.Intervals() {
+			switch iv.Kind {
+			case obsv.IntervalRecovery:
+				rec++
+			case obsv.IntervalBackoff:
+				back++
+			}
+		}
+		fmt.Printf("overlays: %d recovery blackouts, %d retry backoffs, %d retries, %d rejects\n\n",
+			rec, back, v.Retries, v.Rejects)
 	}
 }
 

@@ -14,6 +14,14 @@
 //	ffccd-redis -clients 32 -rate 0 -scheme all        # rate 0 auto-calibrates
 //	ffccd-redis -clients 16 -rate 5e6 -scheme ffccd
 //	ffccd-redis -clients 16 -scheme stw -ops 100000 -keys 20000
+//
+// With -crash-at the availability grid runs instead: one power failure per
+// scheme at the given fraction of that scheme's crash-site census, with the
+// online crash-recovery-resume loop (durable-ack validation, degraded-mode
+// admission, retry/backoff) and the post-recovery p999 ramp measured:
+//
+//	ffccd-redis -crash-at 0.5
+//	ffccd-redis -crash-at 0.25 -scheme ffccd -ops 8000 -keys 1600
 package main
 
 import (
@@ -34,11 +42,32 @@ func main() {
 	seed := flag.Int64("seed", 7, "serving mode: RNG seed")
 	window := flag.Uint64("window", 0, "serving mode: time-series window width in simulated cycles (0 = scale-aware default)")
 	noWindows := flag.Bool("nowindows", false, "serving mode: disable the per-window time series")
+	crashAt := flag.Float64("crash-at", 0, "availability mode: crash each scheme at this fraction of its site census (0 = off)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *crashAt > 0 {
+		opts := experiments.ServingCrashOptions{
+			Clients:      *clients,
+			Ops:          *ops,
+			Keyspace:     *keys,
+			Seed:         *seed,
+			SiteFrac:     *crashAt,
+			WindowCycles: *window,
+		}
+		if *scheme != "all" {
+			opts.Schemes = []string{*scheme}
+		}
+		res, err := experiments.ServingCrash(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+		return
 	}
 
 	if *clients > 0 {

@@ -15,6 +15,7 @@ package checker
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/ds"
@@ -30,9 +31,19 @@ type GraphStats struct {
 }
 
 // CheckStore verifies readability and values for every key of the model
-// (checker step 1).
+// (checker step 1). Keys are visited in ascending order: the reads go
+// through the device cache, and when a run continues past the check — the
+// serving path resumes dispatch right after recovery validation — the cache
+// state the check leaves behind must not depend on Go's map iteration
+// order.
 func CheckStore(ctx *sim.Ctx, s ds.Store, model map[uint64][]byte) error {
-	for k, want := range model {
+	keys := make([]uint64, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		want := model[k]
 		got, ok := s.Get(ctx, k)
 		if !ok {
 			return fmt.Errorf("checker: key %d lost", k)

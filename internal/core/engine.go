@@ -81,6 +81,12 @@ type Options struct {
 	// Obs enables observability from construction (equivalent to SetObs right
 	// after NewEngine, but also covers activity during Recover). Nil = off.
 	Obs *obsv.Obs
+	// RecoveryProgress, when non-nil, is invoked at each stage boundary of
+	// Recover with a short stage label ("rollback", "reconcile", "fixup",
+	// "rebuild", "resume", "done"). Purely observational: it charges no
+	// simulated cycles, so recovery results are identical with or without it.
+	// The serving crash harness uses it to decompose blackout time.
+	RecoveryProgress func(stage string)
 }
 
 // NormalParams are the paper's normal defragmentation parameters (Redis

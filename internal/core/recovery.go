@@ -47,6 +47,13 @@ func Recover(ctx *sim.Ctx, p *pmop.Pool, opt Options) (*Engine, error) {
 	return e, nil
 }
 
+// progress reports a recovery stage boundary to the RecoveryProgress hook.
+func (e *Engine) progress(stage string) {
+	if e.opt.RecoveryProgress != nil {
+		e.opt.RecoveryProgress(stage)
+	}
+}
+
 func (e *Engine) recover(ctx *sim.Ctx) error {
 	p := e.pool
 	dev := p.Device()
@@ -54,11 +61,14 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 
 	if state != phaseCompacting {
 		// Idle: application recovery + allocator rebuild only.
+		e.progress("rollback")
 		p.RecoverTx(ctx)
 		dev.Site(ctx, pmem.SiteRecoveryStep)
+		e.progress("rebuild")
 		live := e.mark(ctx, nil)
 		p.Heap().RebuildFromMark(rebuildEntries(live))
 		dev.Site(ctx, pmem.SiteRecoveryStep)
+		e.progress("done")
 		return nil
 	}
 
@@ -82,6 +92,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	}
 
 	// (1) Per-scheme object-state reconciliation.
+	e.progress("reconcile")
 	switch ep.scheme {
 	case SchemeEspresso:
 		e.recoverEspresso(ctx, ep)
@@ -97,6 +108,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	// (2) Application transaction rollback (undo is pure offsets: safe
 	// before reference fixup, and it may resurrect stale references that
 	// step 3 then normalises).
+	e.progress("rollback")
 	p.RecoverTx(ctx)
 	dev.Site(ctx, pmem.SiteRecoveryStep)
 
@@ -104,6 +116,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	//   - reference to the source of a moved object   → forward to dest
 	//   - reference to the dest of an unmoved object  → undo to source
 	heap := p.Heap()
+	e.progress("fixup")
 	dev.Site(ctx, pmem.SiteBarrierFixup)
 	live := e.mark(ctx, func(_ *sim.Ctx, _ uint64, ref pmop.Ptr) pmop.Ptr {
 		if ref.PoolID() != p.ID() || ref.Offset() < heap.HeapOff() {
@@ -126,6 +139,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	dev.Site(ctx, pmem.SiteRecoveryStep)
 
 	// (4) Allocator rebuild + epoch reservations.
+	e.progress("rebuild")
 	heap.RebuildFromMark(rebuildEntries(live))
 	for _, f := range ep.relocFrames {
 		heap.SetState(f, alloc.FrameRelocation)
@@ -148,6 +162,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	dev.Site(ctx, pmem.SiteRecoveryStep)
 
 	// (5) Resume and complete the epoch.
+	e.progress("resume")
 	if e.rbb != nil && ep.scheme.UsesRelocateInstruction() {
 		reachedOff, _, _ := metaLayout(p)
 		heapOff, frames := p.HeapRange()
@@ -162,6 +177,7 @@ func (e *Engine) recover(ctx *sim.Ctx) error {
 	dev.Site(ctx, pmem.SiteRecoveryStep)
 	e.finishEpoch(ctx, ep)
 	e.cycles.Add(1)
+	e.progress("done")
 	return nil
 }
 

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ffccd/internal/faultinject"
+	"ffccd/internal/obsv"
+	"ffccd/internal/stats"
+)
+
+// ServingCrashOptions parameterizes the serving-availability grid: one
+// mid-run power failure per scheme, with the full online
+// crash-recovery-resume loop (durable-ack validation, degraded-mode
+// admission, retry/backoff) and the post-recovery tail measured.
+type ServingCrashOptions struct {
+	Clients  int
+	Ops      int
+	Keyspace int
+	Seed     int64
+	Schemes  []string // subset of faultinject.ServeSchemes; nil = all
+
+	// SiteFrac places the armed crash site as a fraction of the scheme's
+	// census total (0 < f < 1; default 0.5 — the middle of the run).
+	SiteFrac float64
+	// WindowCycles is the time-series window width (0 = a volume-scaled
+	// default small enough to resolve the recovery ramp).
+	WindowCycles uint64
+	// AdmitCap overrides the degraded-mode admission bound (0 = default).
+	AdmitCap int
+}
+
+// ServingCrashVariant is one scheme's crash-availability measurement.
+type ServingCrashVariant struct {
+	Name       string
+	SitesTotal uint64 // census sites in the dispatch phase
+	Site       int64  // armed site index
+	CrashClass string // site class the crash fired in
+
+	// Availability metrics, all in simulated cycles of the serving run's
+	// virtual-time domain.
+	CrashCycle     uint64
+	ResumeCycle    uint64
+	BlackoutCycles uint64
+	TimeToFirstAck uint64
+	// RampCycles is the post-recovery p999 ramp: cycles from resume until the
+	// first window whose p999 is back within 2x the pre-crash median window
+	// p999 (the full remaining tail if it never requalifies; 0 when no
+	// window completed before the crash, so there is no baseline).
+	// RampWindows counts the windows the ramp spans.
+	RampCycles  uint64
+	RampWindows int
+
+	Retries  int // lost or rejected requests rescheduled with backoff
+	Rejects  int // admission-queue rejections during the blackout
+	Admitted int // requests parked in the bounded admission queue
+
+	P999      float64 // whole-run p999 (crash included)
+	SimCycles uint64
+
+	// Series is the run's windowed time series with recovery/backoff overlay
+	// intervals (rendered by ffccd-inspect -timeline).
+	Series *obsv.TimeSeries
+}
+
+// ServingCrashResult is the whole grid.
+type ServingCrashResult struct {
+	Clients  int
+	Ops      int
+	Variants []ServingCrashVariant
+}
+
+func servingCrashDefaults(o ServingCrashOptions) ServingCrashOptions {
+	if o.Clients <= 0 {
+		o.Clients = faultinject.DefaultServeClients
+	}
+	if o.Ops <= 0 {
+		o.Ops = faultinject.DefaultServeOps
+	}
+	if o.Keyspace <= 0 {
+		o.Keyspace = faultinject.DefaultServeKeys
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = append([]string(nil), faultinject.ServeSchemes...)
+	}
+	if o.SiteFrac <= 0 || o.SiteFrac >= 1 {
+		o.SiteFrac = 0.5
+	}
+	if o.WindowCycles == 0 {
+		// ~64 windows over a trial-volume run; enough rows to see the
+		// blackout gap and the ramp without drowning the timeline.
+		o.WindowCycles = uint64(o.Ops) * 256
+		if o.WindowCycles < 50_000 {
+			o.WindowCycles = 50_000
+		}
+	}
+	return o
+}
+
+// ServingCrash runs the availability grid: per scheme, a census pass counts
+// the dispatch phase's crash sites, then an armed pass fires a power failure
+// at SiteFrac of the census and measures the blackout, time-to-first-ack,
+// degraded-mode admission and the post-recovery p999 ramp.
+func ServingCrash(o ServingCrashOptions) (ServingCrashResult, error) {
+	o = servingCrashDefaults(o)
+	res := ServingCrashResult{Clients: o.Clients, Ops: o.Ops}
+	outs := make([]ServingCrashVariant, len(o.Schemes))
+	err := parallelFor(len(o.Schemes), func(i int) error {
+		v, err := runServingCrashVariant(o.Schemes[i], o)
+		outs[i] = v
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Variants = outs
+	return res, nil
+}
+
+func runServingCrashVariant(scheme string, o ServingCrashOptions) (ServingCrashVariant, error) {
+	base := faultinject.NewServeRepro(scheme, o.Seed)
+	base.Clients, base.Ops, base.Keys = o.Clients, o.Ops, o.Keyspace
+
+	census, err := faultinject.RunServeScheduled(base, faultinject.ServeTrialOptions{})
+	if err != nil {
+		return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s census: %w", scheme, err)
+	}
+	total := census.Census.Total
+	if total == 0 {
+		return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s: no crash sites in dispatch phase", scheme)
+	}
+
+	armed := base
+	armed.Site = int64(float64(total) * o.SiteFrac)
+	series := obsv.NewTimeSeries(scheme, o.WindowCycles, 0)
+	topts := faultinject.ServeTrialOptions{
+		AdmitCap: o.AdmitCap,
+		Series:   func(faultinject.ServeRepro) *obsv.TimeSeries { return series },
+	}
+	out, err := faultinject.RunServeScheduled(armed, topts)
+	if err != nil {
+		return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s armed trial: %w\n  repro: %s",
+			scheme, err, armed.Command())
+	}
+	if out.Crash == nil {
+		return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s: armed site %d did not fire", scheme, armed.Site)
+	}
+
+	sv := out.Serve
+	v := ServingCrashVariant{
+		Name:           scheme,
+		SitesTotal:     total,
+		Site:           armed.Site,
+		CrashClass:     out.Crash.Class.String(),
+		CrashCycle:     sv.CrashCycle,
+		ResumeCycle:    sv.ResumeCycle,
+		BlackoutCycles: sv.BlackoutCycles,
+		TimeToFirstAck: sv.TimeToFirstAck,
+		Retries:        sv.Retries,
+		Rejects:        sv.Rejects,
+		Admitted:       sv.Admitted,
+		P999:           sv.Lat.Percentile(99.9),
+		SimCycles:      sv.SimCycles,
+		Series:         series,
+	}
+	if v.Series != nil {
+		v.RampCycles, v.RampWindows = p999Ramp(v.Series.Windows(), sv.CrashCycle, sv.ResumeCycle)
+	}
+	return v, nil
+}
+
+// p999Ramp measures how long the tail stays degraded after a resume: the
+// cycles from resume until the end of the first window at-or-after resume
+// whose p999 is within 2x the median p999 of the fully-pre-crash windows.
+// Returns the cycles and the number of windows the ramp spans; if no window
+// requalifies, the ramp runs to the last window's end.
+func p999Ramp(wins []obsv.WindowSnap, crash, resume uint64) (uint64, int) {
+	var pre []uint64
+	for _, w := range wins {
+		if w.End <= crash && w.Count > 0 {
+			pre = append(pre, w.P999)
+		}
+	}
+	if len(pre) == 0 {
+		return 0, 0
+	}
+	// wins is sorted by window index; median of the pre-crash p999s.
+	sorted := append([]uint64(nil), pre...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: short slice
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	baseline := sorted[len(sorted)/2]
+	threshold := 2 * baseline
+
+	ramp, n := uint64(0), 0
+	seen := false
+	for _, w := range wins {
+		if w.End <= resume || w.Count == 0 {
+			continue
+		}
+		seen = true
+		n++
+		ramp = w.End - resume
+		if w.P999 <= threshold {
+			return ramp, n
+		}
+	}
+	if !seen {
+		return 0, 0
+	}
+	return ramp, n
+}
+
+func (r ServingCrashResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ServingCrash — availability under one mid-run power failure: %d clients, %d ops\n",
+		r.Clients, r.Ops)
+	t := stats.NewTable("scheme", "sites", "site", "class", "blackout(cyc)",
+		"ttfa(cyc)", "ramp(cyc)", "retries", "rejects", "admitted", "p999(cyc)")
+	for _, v := range r.Variants {
+		t.Add(v.Name, v.SitesTotal, v.Site, v.CrashClass, v.BlackoutCycles,
+			v.TimeToFirstAck, v.RampCycles, v.Retries, v.Rejects, v.Admitted, v.P999)
+	}
+	b.WriteString(t.String())
+	for _, v := range r.Variants {
+		if v.Series == nil || v.Series.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-window p999 — %s (crash@%d, resume@%d):\n", v.Name, v.CrashCycle, v.ResumeCycle)
+		b.WriteString(obsv.RenderTimeline(v.Series, 40))
+	}
+	return b.String()
+}
+
+// Metrics flattens the grid for benchmark records.
+func (r ServingCrashResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"servingcrash.clients": float64(r.Clients),
+		"servingcrash.ops":     float64(r.Ops),
+	}
+	var total uint64
+	for _, v := range r.Variants {
+		k := "servingcrash." + v.Name + "."
+		m[k+"sites_total"] = float64(v.SitesTotal)
+		m[k+"blackout_cycles"] = float64(v.BlackoutCycles)
+		m[k+"time_to_first_ack_cycles"] = float64(v.TimeToFirstAck)
+		m[k+"ramp_cycles"] = float64(v.RampCycles)
+		m[k+"ramp_windows"] = float64(v.RampWindows)
+		m[k+"retries"] = float64(v.Retries)
+		m[k+"rejects"] = float64(v.Rejects)
+		m[k+"admitted"] = float64(v.Admitted)
+		m[k+"p999_cycles"] = v.P999
+		m[k+"sim_cycles"] = float64(v.SimCycles)
+		total += v.SimCycles
+	}
+	m["sim_cycles_total"] = float64(total)
+	return m
+}

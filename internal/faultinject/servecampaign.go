@@ -1,0 +1,324 @@
+package faultinject
+
+// Campaigns over serving crash schedules. Per scheme: a census pass under
+// open-loop traffic counts the dispatch phase's crash sites, then the site
+// space is swept (exhaustively or stratified, same selection as batch
+// campaigns) with one online crash-recovery-resume trial per selected site
+// and a rotating in-flight-line policy. Nested schedules add a second crash
+// inside the recovery. Every failure carries the one-line ServeRepro command
+// that replays it bit-identically, minimized by greedy shrinking.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ffccd/internal/pmem"
+)
+
+// ServeCampaignOptions tunes a serving crash campaign. The zero value is an
+// exhaustive single-crash sweep with default volumes and no watchdog.
+type ServeCampaignOptions struct {
+	// Seed is the base workload seed (schedules inherit it verbatim).
+	Seed int64
+	// Clients/Ops/Keys override the serving volumes (0 = defaults).
+	Clients, Ops, Keys int
+	// MaxSites bounds the scheduled sites per scheme; 0 sweeps exhaustively.
+	MaxSites int
+	// Nested adds crash-during-recovery schedules; MaxNested caps them
+	// (0 = same as the number of first-level sites selected).
+	Nested    bool
+	MaxNested int
+	// Timeout is the per-trial watchdog; expiry is reported as a failure
+	// (the trial goroutine is abandoned). 0 disables.
+	Timeout time.Duration
+	// Shrink minimizes each failure's ServeRepro before reporting.
+	Shrink bool
+	// Trial carries the per-trial hooks.
+	Trial ServeTrialOptions
+}
+
+// ServeFailure is one failing serving schedule with its replay artifact.
+type ServeFailure struct {
+	Repro ServeRepro
+	Err   string
+	// Hung marks a watchdog expiry (the trial never returned).
+	Hung bool
+	// Shrunk is the minimized schedule (set when ServeCampaignOptions.Shrink).
+	Shrunk *ServeRepro
+}
+
+func (f ServeFailure) String() string {
+	kind := "failed"
+	if f.Hung {
+		kind = "hung"
+	}
+	s := fmt.Sprintf("%s: %s\n  repro: %s", kind, f.Err, f.Repro.Command())
+	if f.Shrunk != nil {
+		s += fmt.Sprintf("\n  shrunk: %s", f.Shrunk.Command())
+	}
+	return s
+}
+
+// ServeCampaignOutcome summarises one scheme's serving campaign.
+type ServeCampaignOutcome struct {
+	Scheme string
+	// SitesTotal is the census site count; Scheduled the trials actually run
+	// (first-level + nested, census excluded).
+	SitesTotal uint64
+	Scheduled  int
+	Passed     int
+	// Covered counts, per site class, the first-level crashes that actually
+	// fired in that class — the campaign's coverage summary.
+	Covered  [pmem.NumSiteClasses]int
+	Failures []ServeFailure
+}
+
+// CoverageString renders the sites-per-class coverage line a campaign summary
+// prints.
+func (o ServeCampaignOutcome) CoverageString() string {
+	var parts []string
+	for c := pmem.SiteClass(0); c < pmem.NumSiteClasses; c++ {
+		if o.Covered[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", c, o.Covered[c]))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// runServeWatched executes one serving schedule under the watchdog. On expiry
+// the trial goroutine is abandoned (it holds only trial-local simulated
+// state) and the expiry is the verdict.
+func runServeWatched(rep ServeRepro, topts ServeTrialOptions, timeout time.Duration) (ServeScheduleResult, error, bool) {
+	if timeout <= 0 {
+		res, err := RunServeScheduled(rep, topts)
+		return res, err, false
+	}
+	type outcome struct {
+		res ServeScheduleResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := RunServeScheduled(rep, topts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err, false
+	case <-time.After(timeout):
+		return ServeScheduleResult{}, fmt.Errorf("watchdog: serving trial exceeded %s", timeout), true
+	}
+}
+
+// ExploreServeScheme runs the serving crash campaign for one scheme.
+func ExploreServeScheme(scheme string, co ServeCampaignOptions) ServeCampaignOutcome {
+	out := ServeCampaignOutcome{Scheme: scheme}
+	base := NewServeRepro(scheme, co.Seed)
+	if co.Clients > 0 {
+		base.Clients = co.Clients
+	}
+	if co.Ops > 0 {
+		base.Ops = co.Ops
+	}
+	if co.Keys > 0 {
+		base.Keys = co.Keys
+	}
+
+	// Census pass: count the sites (and verify the no-crash run end to end).
+	census, err, hung := runServeWatched(base, co.Trial, co.Timeout)
+	if err != nil {
+		out.Failures = append(out.Failures, ServeFailure{Repro: base, Err: err.Error(), Hung: hung})
+		return out
+	}
+	out.SitesTotal = census.Census.Total
+	if out.SitesTotal == 0 {
+		return out
+	}
+
+	// First-level schedules: one crash per selected site, policy rotating per
+	// site, salt derived from the site index.
+	sites := selectSites(census.Census, co.MaxSites)
+	reps := make([]ServeRepro, len(sites))
+	for i, site := range sites {
+		r := base
+		r.Site = site
+		r.Policy = Policies[i%len(Policies)]
+		r.Salt = uint64(site)*0x9E3779B97F4A7C15 + uint64(co.Seed)
+		reps[i] = r
+	}
+	type jobOut struct {
+		res  ServeScheduleResult
+		err  error
+		hung bool
+	}
+	firsts := make([]jobOut, len(reps))
+	parallelFor(len(reps), func(i int) {
+		res, err, hung := runServeWatched(reps[i], co.Trial, co.Timeout)
+		firsts[i] = jobOut{res, err, hung}
+	})
+
+	// Nested schedules: crash-during-recovery at the first recovery-step site
+	// and the middle of the recovery's site space, for up to MaxNested
+	// crashing first-level sites (evenly spread over the selection).
+	var nreps []ServeRepro
+	if co.Nested {
+		budget := co.MaxNested
+		if budget <= 0 {
+			budget = len(reps)
+		}
+		var crashed []int
+		for i, f := range firsts {
+			if f.err == nil && !f.hung && f.res.Crash != nil && f.res.RecoveryCensus.Total > 0 {
+				crashed = append(crashed, i)
+			}
+		}
+		stride := 1
+		if len(crashed) > budget {
+			stride = (len(crashed) + budget - 1) / budget
+		}
+		for k := 0; k < len(crashed) && len(nreps) < budget; k += stride {
+			i := crashed[k]
+			rc := firsts[i].res.RecoveryCensus
+			nested := map[int64]bool{int64(rc.Total) / 2: true}
+			if fi := rc.FirstIndex[pmem.SiteRecoveryStep]; fi >= 0 {
+				nested[fi] = true
+			}
+			var ns []int64
+			for s := range nested {
+				ns = append(ns, s)
+			}
+			if len(ns) == 2 && ns[0] > ns[1] {
+				ns[0], ns[1] = ns[1], ns[0]
+			}
+			for _, s := range ns {
+				if len(nreps) >= budget {
+					break
+				}
+				r := reps[i]
+				r.Nested = s
+				nreps = append(nreps, r)
+			}
+		}
+	}
+	nesteds := make([]jobOut, len(nreps))
+	parallelFor(len(nreps), func(i int) {
+		res, err, hung := runServeWatched(nreps[i], co.Trial, co.Timeout)
+		nesteds[i] = jobOut{res, err, hung}
+	})
+
+	// Aggregate in schedule order (deterministic under any worker count).
+	collect := func(reps []ServeRepro, outs []jobOut, firstLevel bool) {
+		for i, o := range outs {
+			out.Scheduled++
+			if o.err == nil {
+				out.Passed++
+				if firstLevel && o.res.Crash != nil {
+					out.Covered[o.res.Crash.Class]++
+				}
+				continue
+			}
+			f := ServeFailure{Repro: reps[i], Err: o.err.Error(), Hung: o.hung}
+			if co.Shrink {
+				if min, ok := ShrinkServeRepro(reps[i], co.Trial, co.Timeout, ShrinkBudget); ok {
+					f.Shrunk = &min
+				}
+			}
+			out.Failures = append(out.Failures, f)
+		}
+	}
+	collect(reps, firsts, true)
+	collect(nreps, nesteds, false)
+	return out
+}
+
+// ExploreServing runs ExploreServeScheme over each scheme in order
+// (nil = ServeSchemes).
+func ExploreServing(schemes []string, co ServeCampaignOptions) []ServeCampaignOutcome {
+	if len(schemes) == 0 {
+		schemes = ServeSchemes
+	}
+	outs := make([]ServeCampaignOutcome, len(schemes))
+	for i, s := range schemes {
+		outs[i] = ExploreServeScheme(s, co)
+	}
+	return outs
+}
+
+// shrinkServeCost orders serving schedules by how much work replaying them
+// takes.
+func shrinkServeCost(r ServeRepro) int64 {
+	c := int64(r.Ops)*8 + int64(r.Keys)*2 + int64(r.Clients) + r.Site
+	if r.Nested >= 0 {
+		c += r.Nested
+	}
+	return c
+}
+
+// ShrinkServeRepro minimizes a failing serving schedule, spending at most
+// budget extra trials. Same greedy contract as ShrinkRepro: deterministic
+// trials mean one run per candidate, and a candidate failing with a different
+// message still reproduces a bug at a smaller schedule.
+func ShrinkServeRepro(rep ServeRepro, topts ServeTrialOptions, timeout time.Duration, budget int) (ServeRepro, bool) {
+	if budget <= 0 {
+		budget = ShrinkBudget
+	}
+	fails := func(r ServeRepro) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		_, err, hung := runServeWatched(r, topts, timeout)
+		return err != nil || hung
+	}
+
+	best := rep
+	improved := false
+	for budget > 0 {
+		var cands []ServeRepro
+		add := func(mut func(*ServeRepro)) {
+			c := best
+			mut(&c)
+			if c.Ops < 16 {
+				c.Ops = 16
+			}
+			if c.Keys < 64 {
+				c.Keys = 64
+			}
+			if c.Clients < 1 {
+				c.Clients = 1
+			}
+			if c != best && shrinkServeCost(c) < shrinkServeCost(best) {
+				cands = append(cands, c)
+			}
+		}
+		add(func(r *ServeRepro) { r.Nested = -1 })
+		add(func(r *ServeRepro) { r.Nested = r.Nested / 2 })
+		add(func(r *ServeRepro) { r.Ops = r.Ops / 2 })
+		add(func(r *ServeRepro) { r.Keys = r.Keys / 2 })
+		add(func(r *ServeRepro) { r.Clients = r.Clients / 2 })
+		add(func(r *ServeRepro) { r.Site = r.Site / 2 })
+		add(func(r *ServeRepro) { r.Ops = r.Ops - 1 })
+		add(func(r *ServeRepro) { r.Site = r.Site - 1 })
+
+		progressed := false
+		for _, c := range cands {
+			if budget <= 0 {
+				break
+			}
+			if fails(c) {
+				best = c
+				improved = true
+				progressed = true
+				break // restart the move list from the new best
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return best, improved
+}

@@ -1,0 +1,431 @@
+package faultinject
+
+// Deterministic crash schedules for the serving path (redisws.Serve). A
+// serving trial is the online analogue of RunScheduled: the same machine runs
+// under open-loop traffic, a site census enumerates every persistence-relevant
+// event of the dispatch phase, and an armed replay fires a power failure at an
+// exact site index — including a nested crash inside the recovery that
+// follows. Unlike a batch trial, the run does not end at the crash: the
+// dispatcher performs an online crash-recovery-resume (redisws.CrashPlan),
+// the durable-ack checker validates every acknowledged write against the
+// recovered store, and serving continues with retry/backoff until the
+// schedule's op budget is spent. The whole trial — census, crash, recovery,
+// resumed tail, final media hash — is a pure function of the ServeRepro line.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"ffccd/internal/alloc"
+	"ffccd/internal/checker"
+	"ffccd/internal/core"
+	"ffccd/internal/ds"
+	"ffccd/internal/kv"
+	"ffccd/internal/mesh"
+	"ffccd/internal/obsv"
+	"ffccd/internal/pmem"
+	"ffccd/internal/pmop"
+	"ffccd/internal/redisws"
+	"ffccd/internal/sim"
+)
+
+// ServeSchemes are the serving-path defragmentation schemes a schedule can
+// name — the four machines of the §7.4 comparison.
+var ServeSchemes = []string{"none", "ffccd", "stw", "mesh"}
+
+// Default serving-trial volumes. Small enough for a stratified campaign in CI,
+// large enough that the value-size drift at Ops/2 fragments the store and the
+// schemes actually defragment inside the schedulable window.
+const (
+	DefaultServeClients = 8
+	DefaultServeOps     = 4000
+	DefaultServeKeys    = 800
+)
+
+// ServeRepro is one deterministic serving crash schedule — the replayable
+// artifact a failing serving campaign emits. All fields marshal explicitly so
+// a shrunk zero survives the JSON round trip.
+type ServeRepro struct {
+	Scheme  string `json:"scheme"`
+	Clients int    `json:"clients"`
+	Ops     int    `json:"ops"`
+	Keys    int    `json:"keys"`
+	Seed    int64  `json:"seed"`
+	Site    int64  `json:"site"`   // crash-site index; -1 = census (no crash)
+	Nested  int64  `json:"nested"` // recovery crash-site index; -1 = none
+	Policy  string `json:"policy"`
+	Salt    uint64 `json:"salt"`
+}
+
+// NewServeRepro returns a census-pass schedule for one scheme with default
+// volumes.
+func NewServeRepro(scheme string, seed int64) ServeRepro {
+	return ServeRepro{
+		Scheme: scheme, Seed: seed,
+		Clients: DefaultServeClients, Ops: DefaultServeOps, Keys: DefaultServeKeys,
+		Site: -1, Nested: -1, Policy: PolicyDrop,
+	}
+}
+
+func validServeScheme(s string) bool {
+	for _, k := range ServeSchemes {
+		if k == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MarshalLine renders the schedule as its canonical one-line JSON.
+func (r ServeRepro) MarshalLine() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(err) // plain struct of scalars; cannot happen
+	}
+	return string(b)
+}
+
+// ParseServeRepro parses MarshalLine output (unknown fields rejected so typos
+// in hand-edited repro lines fail loudly).
+func ParseServeRepro(line string) (ServeRepro, error) {
+	r := ServeRepro{Site: -1, Nested: -1}
+	dec := json.NewDecoder(bytes.NewReader([]byte(line)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return r, fmt.Errorf("faultinject: bad serve repro line: %w", err)
+	}
+	if !validServeScheme(r.Scheme) {
+		return r, fmt.Errorf("faultinject: unknown serving scheme %q", r.Scheme)
+	}
+	if _, err := PolicyFor(r.Policy, r.Salt); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// Command renders the one-line shell command that replays this schedule.
+func (r ServeRepro) Command() string {
+	return fmt.Sprintf("ffccd-crashtest -serve -repro '%s'", r.MarshalLine())
+}
+
+// ServeTrialOptions carries per-campaign hooks for serving trials.
+type ServeTrialOptions struct {
+	// AfterRecovery, when non-nil, runs inside the blackout — after the store
+	// reopens, before the durable-ack checker. Tests use it to plant ack-loss
+	// bugs (proving the checker catches them) or to stall (proving the
+	// watchdog).
+	AfterRecovery func(ctx *sim.Ctx, p *pmop.Pool, s ds.Store)
+	// Series, when non-nil, supplies a fresh time series per trial (the run's
+	// recovery/backoff overlay intervals land in it).
+	Series func(rep ServeRepro) *obsv.TimeSeries
+	// AdmitCap overrides the degraded-mode admission-queue bound
+	// (0 = redisws default, Clients/4+1).
+	AdmitCap int
+}
+
+// ServeScheduleResult reports what one serving trial did.
+type ServeScheduleResult struct {
+	// Census counts the dispatch-phase sites — complete when no crash fired,
+	// up to the crash otherwise.
+	Census pmem.SiteCensus
+	// Crash is the injected power failure (nil for a completed census run).
+	Crash *pmem.CrashAtSite
+	// RecoveryCensus counts the sites of the first post-crash recovery;
+	// NestedCrash is the power failure injected inside it, if any.
+	RecoveryCensus pmem.SiteCensus
+	NestedCrash    *pmem.CrashAtSite
+	// RecoveryStages records the core.Recover stage labels of the last
+	// completed recovery, in order.
+	RecoveryStages []string
+	// PostCrashHash digests the media right after the (first) crash;
+	// FinalHash digests it after the resumed run quiesces. Equal hashes across
+	// runs of the same ServeRepro are the bit-identity witness.
+	PostCrashHash, FinalHash uint64
+	// Serve is the completed serving run (availability metrics included).
+	Serve redisws.ServeResult
+}
+
+// serveCoreScheme maps a serving scheme name to the engine scheme recovery
+// runs under ("none" and "mesh" have no engine; their recovery is the
+// scheme-independent idle path).
+func serveCoreScheme(scheme string) core.Scheme {
+	switch scheme {
+	case "ffccd":
+		return core.SchemeFFCCDCheckLookup
+	case "stw":
+		return core.SchemeEspresso
+	}
+	return core.SchemeNone
+}
+
+// serveEngineOptions is the serving-grid engine configuration (mirrors
+// experiments.Serving so scheduled trials crash the same machine the SLO grid
+// measures).
+func serveEngineOptions(scheme string) core.Options {
+	return core.Options{
+		Scheme:       serveCoreScheme(scheme),
+		TriggerRatio: 1.10,
+		TargetRatio:  1.01,
+		BatchObjects: 64,
+	}
+}
+
+// wireServeHooks builds the serving hooks for one scheme over an existing
+// machine — at trial start over a fresh engine, after a crash over the
+// recovered one. The gcCtx carries across the crash (pause accounting is
+// delta-based).
+func wireServeHooks(scheme string, p *pmop.Pool, eng *core.Engine, d *mesh.Defragmenter, gcCtx *sim.Ctx) redisws.ServeHooks {
+	var hooks redisws.ServeHooks
+	switch scheme {
+	case "ffccd":
+		open := false
+		hooks.Maintenance = func(uint64) uint64 {
+			if open || p.Heap().Frag(12).FragRatio <= 1.10 {
+				return 0
+			}
+			before := gcCtx.Clock.Cycles(sim.CatMark) + gcCtx.Clock.Cycles(sim.CatSummary)
+			if !eng.BeginCycle(gcCtx) {
+				return 0
+			}
+			open = true
+			return gcCtx.Clock.Cycles(sim.CatMark) + gcCtx.Clock.Cycles(sim.CatSummary) - before
+		}
+		hooks.EpochOpen = func() bool { return open }
+		hooks.EpochInfo = eng.OpenEpoch
+		hooks.Step = func(n int) (bool, uint64) {
+			eng.StepCompaction(gcCtx, n)
+			if eng.EpochPending() > 0 {
+				return true, 0
+			}
+			t0 := gcCtx.Clock.Total()
+			eng.FinishCycle(gcCtx)
+			open = false
+			return false, gcCtx.Clock.Total() - t0
+		}
+	case "stw":
+		hooks.Maintenance = func(uint64) uint64 {
+			if p.Heap().Frag(12).FragRatio <= 1.10 {
+				return 0
+			}
+			pause, _ := eng.RunCycleSTW(gcCtx)
+			return pause
+		}
+	case "mesh":
+		hooks.Maintenance = func(uint64) uint64 {
+			before := gcCtx.Clock.Total()
+			d.RunCycle(gcCtx)
+			return gcCtx.Clock.Total() - before
+		}
+		hooks.Foot = func() alloc.FragStats { return d.PhysFrag(12) }
+	}
+	return hooks
+}
+
+// serveConfigFor builds the serving workload for a schedule: the Figure 16
+// fragmentation regime (LRU churn near the cap, value-size drift at Ops/2)
+// scaled down to trial volumes.
+func serveConfigFor(rep ServeRepro) redisws.ServeConfig {
+	cfg := redisws.DefaultServeConfig()
+	cfg.Clients = rep.Clients
+	cfg.Ops = rep.Ops
+	cfg.Keyspace = rep.Keys
+	cfg.Seed = rep.Seed
+	cfg.MinVal, cfg.MaxVal = 240, 366
+	cfg.MinVal2, cfg.MaxVal2 = 367, 492
+	cfg.MaxLiveBytes = uint64(rep.Keys) * 300 / 2
+	cfg.MaintEvery = rep.Keys / 8
+	if cfg.MaintEvery < 1 {
+		cfg.MaintEvery = 1
+	}
+	return cfg
+}
+
+// RunServeScheduled executes one deterministic serving crash trial. The
+// returned error is the trial verdict (nil = consistent; recovery failures and
+// durable-ack violations are verdicts). The ServeScheduleResult is populated
+// as far as the trial got even on failure.
+func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleResult, error) {
+	var res ServeScheduleResult
+	if !validServeScheme(rep.Scheme) {
+		return res, fmt.Errorf("faultinject: unknown serving scheme %q", rep.Scheme)
+	}
+	if rep.Clients <= 0 {
+		rep.Clients = DefaultServeClients
+	}
+	if rep.Ops <= 0 {
+		rep.Ops = DefaultServeOps
+	}
+	if rep.Keys <= 0 {
+		rep.Keys = DefaultServeKeys
+	}
+	policy, err := PolicyFor(rep.Policy, rep.Salt)
+	if err != nil {
+		return res, err
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = 256 * 1024
+	poolBytes := uint64(rep.Keys)*512*6 + (16 << 20)
+	rt := pmop.NewRuntime(&cfg, poolBytes*2)
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	kv.RegisterTypes(reg)
+	p, err := rt.Create("serve", poolBytes, 12, reg)
+	if err != nil {
+		return res, err
+	}
+	dev := p.Device()
+	ctx := sim.NewCtx(&cfg)
+	s, err := kv.NewEcho(ctx, p, rep.Keys/2+64)
+	if err != nil {
+		return res, err
+	}
+
+	gcCtx := sim.NewCtx(&cfg)
+	var eng *core.Engine
+	if sc := serveCoreScheme(rep.Scheme); sc != core.SchemeNone {
+		eng = core.NewEngine(p, serveEngineOptions(rep.Scheme))
+	}
+	var d *mesh.Defragmenter
+	if rep.Scheme == "mesh" {
+		d = mesh.New(p)
+	}
+	hooks := wireServeHooks(rep.Scheme, p, eng, d, gcCtx)
+	if opts.Series != nil {
+		hooks.Series = opts.Series(rep)
+	}
+
+	// The current machine (swapped by the crash plan's Recover). The pre-crash
+	// engine is abandoned wholesale at a crash, like the batch driver: its
+	// volatile state is exactly what the power failure destroys.
+	curPool, curEng := p, eng
+	crashed := false
+
+	hooks.Crash = &redisws.CrashPlan{
+		AdmitCap: opts.AdmitCap,
+		Arm:      func() { dev.ArmSites(rep.Site) },
+		Recover: func(crash *pmem.CrashAtSite, acked map[uint64][]byte, pending *redisws.PendingWrite) (*redisws.Recovered, error) {
+			crashed = true
+			res.Crash = crash
+			res.Census = dev.DisarmSites()
+			dev.SetCrashPolicy(policy)
+			dev.Crash()
+			res.PostCrashHash = dev.HashMedia()
+
+			// Restart: attach, open, recover. recCtx bills the blackout — the
+			// cycles the server is gone.
+			recCtx := sim.NewCtx(&cfg)
+			attach := func() (*pmop.Pool, error) {
+				rt2, err := pmop.Attach(&cfg, rt.Device())
+				if err != nil {
+					return nil, err
+				}
+				reg2 := pmop.NewRegistry()
+				ds.RegisterTypes(reg2)
+				kv.RegisterTypes(reg2)
+				return rt2.Open("serve", reg2)
+			}
+			ropt := serveEngineOptions(rep.Scheme)
+			ropt.RecoveryProgress = func(stage string) {
+				res.RecoveryStages = append(res.RecoveryStages, stage)
+			}
+			p2, err := attach()
+			if err != nil {
+				return nil, err
+			}
+			// Mesh's remap table must be installed before reference marking
+			// reads the heap (see mesh.Recover).
+			var d2 *mesh.Defragmenter
+			if rep.Scheme == "mesh" {
+				if d2, err = mesh.Recover(recCtx, p2); err != nil {
+					return nil, fmt.Errorf("mesh recovery (%s): %w", rep.Scheme, err)
+				}
+			}
+			var e2 *core.Engine
+			var recErr error
+			dev.ArmSites(rep.Nested)
+			res.NestedCrash = catchCrash(func() {
+				res.RecoveryStages = res.RecoveryStages[:0]
+				e2, recErr = core.Recover(recCtx, p2, ropt)
+			})
+			res.RecoveryCensus = dev.DisarmSites()
+			if recErr != nil {
+				return nil, fmt.Errorf("recovery failed (%s): %w", rep.Scheme, recErr)
+			}
+			if res.NestedCrash != nil {
+				// Second power failure, inside recovery. Crash again and run
+				// the final, unscheduled recovery — double-recovery
+				// idempotence on the serving path.
+				dev.SetCrashPolicy(policy)
+				dev.Crash()
+				if p2, err = attach(); err != nil {
+					return nil, err
+				}
+				if rep.Scheme == "mesh" {
+					if d2, err = mesh.Recover(recCtx, p2); err != nil {
+						return nil, fmt.Errorf("second mesh recovery (%s): %w", rep.Scheme, err)
+					}
+				}
+				res.RecoveryStages = res.RecoveryStages[:0]
+				if e2, err = core.Recover(recCtx, p2, ropt); err != nil {
+					return nil, fmt.Errorf("second recovery failed (%s): %w", rep.Scheme, err)
+				}
+			}
+			// After the allocator rebuild, re-pin meshed frames so later
+			// cycles cannot re-mesh over resident neighbours.
+			if d2 != nil {
+				d2.RestoreFrameStates()
+			}
+			s2, err := kv.NewEcho(recCtx, p2, rep.Keys/2+64)
+			if err != nil {
+				return nil, err
+			}
+			if opts.AfterRecovery != nil {
+				opts.AfterRecovery(recCtx, p2, s2)
+			}
+			// Durable-ack and graph checks run on a non-billed context: the
+			// blackout bill is the restart work, not the validation harness.
+			chkCtx := sim.NewCtx(&cfg)
+			var pw *checker.PendingWrite
+			if pending != nil {
+				pw = &checker.PendingWrite{Key: pending.Key, Val: pending.Val}
+			}
+			model, err := checker.DurableAcks(chkCtx, s2, acked, pw)
+			if err != nil {
+				return nil, fmt.Errorf("durable-ack check (%s): %w", rep.Scheme, err)
+			}
+			if _, err := checker.CheckGraph(chkCtx, p2); err != nil {
+				return nil, fmt.Errorf("post-recovery graph check (%s): %w", rep.Scheme, err)
+			}
+			curPool, curEng = p2, e2
+			return &redisws.Recovered{
+				Store:  s2,
+				Pool:   p2,
+				Hooks:  wireServeHooks(rep.Scheme, p2, e2, d2, gcCtx),
+				Cycles: recCtx.Clock.Total(),
+				Model:  model,
+			}, nil
+		},
+	}
+
+	out, err := redisws.Serve(ctx, p, s, serveConfigFor(rep), hooks)
+	res.Serve = out
+	if err != nil {
+		return res, err
+	}
+	if !crashed {
+		// Census pass, or the armed site was past the end of the run.
+		res.Census = dev.DisarmSites()
+	}
+	if curEng != nil {
+		curEng.Close()
+	}
+	dev.FlushAll(ctx)
+	res.FinalHash = dev.HashMedia()
+	chkCtx := sim.NewCtx(&cfg)
+	if _, err := checker.CheckGraph(chkCtx, curPool); err != nil {
+		return res, fmt.Errorf("final graph check (%s): %w", rep.Scheme, err)
+	}
+	return res, nil
+}

@@ -9,17 +9,48 @@
 // Faithfulness notes: Mesh's randomized allocation and span machinery are
 // out of scope; we mesh the pool's 4 KB frames greedily. The virtual→
 // physical mapping is maintained in pmop.Pool's frame remap (the analogue of
-// Mesh's mprotect/page-table surgery) and is volatile — the comparator runs
-// in the non-crash Redis experiment, matching how the paper uses it.
+// Mesh's mprotect/page-table surgery).
+//
+// Crash consistency. The remap table is the one piece of Mesh state that
+// must survive power loss — without it, a recovered machine would read a
+// meshed-away frame's stale physical page. RunCycle persists the table into
+// the pool's auxiliary metadata slack (pmop.Pool.AuxMetaRange) with a
+// two-copy generation scheme: the inactive copy is written and flushed
+// first, then the 8-byte generation header flips to it (a line-atomic
+// publish under any crash policy). A crash mid-cycle therefore recovers the
+// *previous* mapping — safe, because meshPair copies source slots into free
+// offsets of the destination's physical frame before the remap flips, so
+// under the old mapping those bytes are unreachable garbage. Recover reads
+// the table back before core recovery runs (reference marking must read
+// through the mapping); RestoreFrameStates re-pins the meshed frame states
+// after the allocator rebuild so later cycles cannot re-mesh over resident
+// neighbours.
 package mesh
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sync"
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/pmop"
 	"ffccd/internal/sim"
 )
+
+// Remap-table persistence layout inside AuxMetaRange:
+//
+//	[0:8)    header word: meshMagic | generation (0 on fresh media = identity)
+//	[8:16)   reserved
+//	[16:...) two copies of frames×u32 physical-frame entries; the active copy
+//	         is generation%2.
+const meshMagic = uint64(0x4D455348) << 32 // "MESH"
+
+func remapLayout(p *pmop.Pool) (base uint64, copyBytes uint64, ok bool) {
+	_, frames := p.HeapRange()
+	off, size := p.AuxMetaRange()
+	copyBytes = frames * 4
+	return off, copyBytes, size >= 16+2*copyBytes
+}
 
 // Defragmenter meshes offset-disjoint frames of one pool.
 type Defragmenter struct {
@@ -28,6 +59,7 @@ type Defragmenter struct {
 	mu     sync.Mutex
 	remap  []uint32 // virtual frame → physical frame
 	meshed int      // physical frames released by meshing
+	gen    uint64   // persisted remap-table generation (0 = identity)
 
 	// MeshesPerformed counts successful pairings.
 	MeshesPerformed int
@@ -127,12 +159,92 @@ func (d *Defragmenter) RunCycle(ctx *sim.Ctx) int {
 	if released > 0 {
 		d.meshed += released
 		d.MeshesPerformed += released
-		// Publish the updated mapping.
+		// Persist first (inactive copy + durable generation flip), then
+		// publish the volatile mapping: a crash inside persist leaves the old
+		// generation active and the old remap recoverable.
+		d.persist(ctx)
 		m := make([]uint32, len(d.remap))
 		copy(m, d.remap)
 		p.SetFrameRemap(m)
 	}
 	return released
+}
+
+// persist writes the current remap table into the inactive aux-meta copy,
+// flushes it, and flips the generation header. Called with d.mu held and the
+// world stopped.
+func (d *Defragmenter) persist(ctx *sim.Ctx) {
+	p := d.p
+	base, copyBytes, ok := remapLayout(p)
+	if !ok {
+		return // pool too small to carry the table; stay volatile
+	}
+	next := d.gen + 1
+	dst := base + 16 + (next%2)*copyBytes
+	buf := make([]byte, copyBytes)
+	for i, ph := range d.remap {
+		binary.LittleEndian.PutUint32(buf[i*4:], ph)
+	}
+	p.RawStore(ctx, dst, buf)
+	p.PersistRange(ctx, dst, copyBytes)
+	p.RawStoreU64(ctx, base, meshMagic|(next&0xFFFFFFFF))
+	p.PersistRange(ctx, base, 8)
+	d.gen = next
+}
+
+// Recover rebuilds a Defragmenter from the persisted remap table and
+// installs the mapping on the pool. It must run BEFORE core recovery: the
+// reference mark pass reads heap bytes through the pool's frame remap, and
+// until the mapping is installed a meshed-away frame resolves to its stale
+// physical page. Fresh media (or a pool too small for the table) recovers to
+// the identity mapping.
+func Recover(ctx *sim.Ctx, p *pmop.Pool) (*Defragmenter, error) {
+	_, frames := p.HeapRange()
+	remap := make([]uint32, frames)
+	for i := range remap {
+		remap[i] = uint32(i)
+	}
+	d := &Defragmenter{p: p, remap: remap}
+	base, copyBytes, ok := remapLayout(p)
+	if ok {
+		if hdr := p.RawLoadU64(ctx, base); hdr&^uint64(0xFFFFFFFF) == meshMagic {
+			gen := hdr & 0xFFFFFFFF
+			buf := make([]byte, copyBytes)
+			p.RawLoad(ctx, base+16+(gen%2)*copyBytes, buf)
+			for i := range remap {
+				ph := binary.LittleEndian.Uint32(buf[i*4:])
+				if uint64(ph) >= frames {
+					return nil, fmt.Errorf("mesh: corrupt remap entry %d → %d (frames %d)", i, ph, frames)
+				}
+				remap[i] = ph
+				if ph != uint32(i) {
+					d.meshed++
+				}
+			}
+			d.gen = gen
+		}
+	}
+	m := make([]uint32, len(remap))
+	copy(m, remap)
+	p.SetFrameRemap(m)
+	return d, nil
+}
+
+// RestoreFrameStates re-marks every frame participating in a mesh pairing as
+// FrameMeshed. Run it AFTER the allocator rebuild (core recovery leaves
+// frames with live objects Active): a destination frame physically hosts its
+// meshed partner's slots too, so leaving it Active would let a later cycle
+// pair it against a third frame and overwrite the resident neighbour.
+func (d *Defragmenter) RestoreFrameStates() {
+	heap := d.p.Heap()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for src, ph := range d.remap {
+		if uint32(src) != ph {
+			heap.SetState(src, alloc.FrameMeshed)
+			heap.SetState(int(ph), alloc.FrameMeshed)
+		}
+	}
 }
 
 // meshPair copies src's occupied slots onto dst's physical frame (same page

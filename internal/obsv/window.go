@@ -39,6 +39,9 @@ const (
 	IntervalEpoch = "epoch"
 	// IntervalRecovery is post-crash recovery.
 	IntervalRecovery = "recovery"
+	// IntervalBackoff is one client's retry backoff wait after an admission
+	// rejection during recovery (Epoch carries the client id).
+	IntervalBackoff = "backoff"
 )
 
 // Interval is one overlay annotation on the time series: a span of simulated
@@ -221,11 +224,13 @@ type WindowSnap struct {
 	InterfCycles     uint64  `json:"interf_cycles"`
 	StallCycles      uint64  `json:"stall_cycles"`
 	QueueCycles      uint64  `json:"queue_cycles"`
-	// STWOverlap/EpochOverlap report whether an overlay interval of that kind
-	// intersects the window.
-	STWOverlap   bool       `json:"stw_overlap"`
-	EpochOverlap bool       `json:"epoch_overlap"`
-	Exemplars    []Exemplar `json:"exemplars,omitempty"`
+	// STWOverlap/EpochOverlap/RecoveryOverlap/BackoffOverlap report whether
+	// an overlay interval of that kind intersects the window.
+	STWOverlap      bool       `json:"stw_overlap"`
+	EpochOverlap    bool       `json:"epoch_overlap"`
+	RecoveryOverlap bool       `json:"recovery_overlap,omitempty"`
+	BackoffOverlap  bool       `json:"backoff_overlap,omitempty"`
+	Exemplars       []Exemplar `json:"exemplars,omitempty"`
 }
 
 // TimeSeries is the windowed metric accumulator for one run. Requests are
@@ -347,6 +352,10 @@ func (ts *TimeSeries) Windows() []WindowSnap {
 				ws.STWOverlap = true
 			case IntervalEpoch:
 				ws.EpochOverlap = true
+			case IntervalRecovery:
+				ws.RecoveryOverlap = true
+			case IntervalBackoff:
+				ws.BackoffOverlap = true
 			}
 		}
 		out = append(out, ws)
@@ -400,8 +409,9 @@ func boolBit(v bool) int {
 
 // RenderTimeline renders the time series as a terminal timeline: one row per
 // window with a log-free linear p999 bar plus overlay marks (S = an STW pause
-// intersects the window, E = a concurrent epoch is open). barWidth is the bar
-// column width (<=0 selects 40).
+// intersects the window, E = a concurrent epoch is open, R = post-crash
+// recovery, B = retry backoff after an admission rejection). barWidth is the
+// bar column width (<=0 selects 40).
 func RenderTimeline(ts *TimeSeries, barWidth int) string {
 	if barWidth <= 0 {
 		barWidth = 40
@@ -420,7 +430,7 @@ func RenderTimeline(ts *TimeSeries, barWidth int) string {
 		maxP999 = 1
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %d windows x %.1fms (p999 bar full scale = %.3fms; S=stw pause, E=epoch open)\n",
+	fmt.Fprintf(&b, "%s: %d windows x %.1fms (p999 bar full scale = %.3fms; S=stw pause, E=epoch open, R=recovery, B=backoff)\n",
 		ts.scheme, len(wins), sim.CyclesToMillis(ts.width), sim.CyclesToMillis(maxP999))
 	fmt.Fprintf(&b, "%6s %10s %8s %10s %10s  %-*s ov\n",
 		"win", "t(ms)", "ops", "p50(ms)", "p999(ms)", barWidth, "p999")
@@ -438,6 +448,12 @@ func RenderTimeline(ts *TimeSeries, barWidth int) string {
 		}
 		if w.EpochOverlap {
 			ov += "E"
+		}
+		if w.RecoveryOverlap {
+			ov += "R"
+		}
+		if w.BackoffOverlap {
+			ov += "B"
 		}
 		fmt.Fprintf(&b, "%6d %10.1f %8d %10.3f %10.3f  %-*s %s\n",
 			w.Index, sim.CyclesToMillis(w.Start), w.Count,

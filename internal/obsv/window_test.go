@@ -102,6 +102,45 @@ func TestIntervalOverlapAndFlags(t *testing.T) {
 	}
 }
 
+// The serving-path crash overlays: a recovery blackout and a retry backoff
+// must flag the windows they touch and render as R/B marks in the timeline,
+// exactly like the S/E GC overlays do.
+func TestIntervalRecoveryAndBackoffFlags(t *testing.T) {
+	ts := NewTimeSeries("ffccd", 1000, 1)
+	ts.ObserveOp(sampleAt(500, 5, 1))               // window 0: pre-crash
+	ts.ObserveOp(sampleAt(1500, 5, 2))              // window 1: blackout
+	ts.ObserveOp(sampleAt(2500, 5, 3))              // window 2: degraded resume
+	ts.ObserveOp(sampleAt(3500, 5, 4))              // window 3: healthy again
+	ts.AddInterval(IntervalRecovery, 1100, 1900, 0) // inside window 1
+	ts.AddInterval(IntervalBackoff, 2100, 2300, 0)  // inside window 2
+
+	wins := ts.Windows()
+	wantR := []bool{false, true, false, false}
+	wantB := []bool{false, false, true, false}
+	for i, w := range wins {
+		if w.RecoveryOverlap != wantR[i] || w.BackoffOverlap != wantB[i] {
+			t.Fatalf("window %d flags recovery=%v backoff=%v, want %v/%v",
+				i, w.RecoveryOverlap, w.BackoffOverlap, wantR[i], wantB[i])
+		}
+	}
+
+	tl := RenderTimeline(ts, 20)
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 6 { // title + header + 4 windows
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), tl)
+	}
+	if !strings.HasSuffix(lines[3], " R") {
+		t.Fatalf("blackout window row missing R overlay mark: %q", lines[3])
+	}
+	if !strings.HasSuffix(lines[4], " B") {
+		t.Fatalf("backoff window row missing B overlay mark: %q", lines[4])
+	}
+	if strings.HasSuffix(lines[2], " R") || strings.HasSuffix(lines[2], " B") ||
+		strings.HasSuffix(lines[5], " R") || strings.HasSuffix(lines[5], " B") {
+		t.Fatalf("overlay marks leaked into untouched windows:\n%s", tl)
+	}
+}
+
 func TestStallCauseDominant(t *testing.T) {
 	for _, c := range []struct {
 		cause StallCause

@@ -47,6 +47,11 @@ const (
 	txSlotCount    = 8
 	txSlotBytes    = 64 * 1024
 	gcMetaPerFrame = 320 // reached bitmap (8) + moved bitmap (32) + PMFT (264) + slack
+
+	// gcMetaUsedPerFrame is the portion of gcMetaPerFrame the defragmentation
+	// schemes actually lay out; the rest of the region is auxiliary slack
+	// (AuxMetaRange).
+	gcMetaUsedPerFrame = 8 + 32 + 264
 )
 
 // Pool is a persistent memory object pool mapped into the simulated device.
@@ -176,6 +181,20 @@ func (p *Pool) PageShift() uint { return p.pageShift }
 // GCMetaRange returns the pool-offset range reserved for GC persistent
 // metadata (PMFT, moved bitmaps, reached bitmap, phase state).
 func (p *Pool) GCMetaRange() (off, size uint64) { return p.gcMetaOff, p.gcMetaSize }
+
+// AuxMetaRange returns the slack tail of the GC metadata region: persistent
+// space no defragmentation scheme touches (at least 16 bytes per heap frame),
+// available to auxiliary comparators. The Mesh comparator persists its
+// virtual→physical frame remap here. The range sits below the heap, so frame
+// remapping never applies to it.
+func (p *Pool) AuxMetaRange() (off, size uint64) {
+	used := p.heapFrames * gcMetaUsedPerFrame
+	if used >= p.gcMetaSize {
+		// Tiny pools can round the meta region down to the used floor.
+		return p.gcMetaOff + p.gcMetaSize, 0
+	}
+	return p.gcMetaOff + used, p.gcMetaSize - used
+}
 
 // HeapRange returns the heap's pool-offset start and frame count.
 func (p *Pool) HeapRange() (off uint64, frames uint64) { return p.heapOff, p.heapFrames }

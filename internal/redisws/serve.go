@@ -3,6 +3,7 @@ package redisws
 import (
 	"container/list"
 	"errors"
+	"sort"
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/ds"
@@ -85,6 +86,58 @@ func DefaultServeConfig() ServeConfig {
 	}
 }
 
+// PendingWrite is the one store sub-transaction in flight at a crash (Val
+// nil = delete). See checker.PendingWrite — redisws keeps its own type so the
+// dependency points from the harness into both, not between them.
+type PendingWrite struct {
+	Key uint64
+	Val []byte
+}
+
+// Recovered is the machine a CrashPlan.Recover hands back: the reopened
+// store and pool, replacement scheme hooks (the pre-crash engine died with
+// the power), how many simulated cycles the restart took, and the durable
+// key/value model the recovery checker verified (the dispatcher rebuilds its
+// volatile LRU from it and continues acknowledging against it).
+type Recovered struct {
+	Store ds.Store
+	Pool  *pmop.Pool
+	// Hooks replace Maintenance/Step/EpochOpen/EpochInfo/Foot; the run keeps
+	// its original Series (the time series spans the crash).
+	Hooks  ServeHooks
+	Cycles uint64
+	Model  map[uint64][]byte
+}
+
+// CrashPlan schedules a power failure inside a serving run and supplies the
+// recovery path. Arm is called once, right before dispatch begins (so a site
+// census covers exactly the dispatch phase). When a crash site fires — the
+// dispatch goroutine panics with *pmem.CrashAtSite — Serve catches it,
+// records the crash at the current completion high-water mark, and calls
+// Recover with the acknowledged-write model and the in-flight transaction.
+// Recover's error is the trial verdict and aborts the run; on success the
+// dispatcher swaps in the recovered machine and resumes the arrival process.
+//
+// Degraded-mode semantics during the blackout [crash, crash+Cycles):
+// connections whose request was lost with the power (in flight or queued
+// server-side) retry with capped exponential backoff in virtual time;
+// arrivals during the blackout hit a bounded admission queue — the first
+// AdmitCap are parked until the server is back, the rest are rejected and
+// retry with backoff. All of it is simulated serially in deterministic
+// (time, client) order, so resumed runs stay bit-identical at any host
+// thread count.
+type CrashPlan struct {
+	Arm     func()
+	Recover func(crash *pmem.CrashAtSite, acked map[uint64][]byte, pending *PendingWrite) (*Recovered, error)
+
+	// AdmitCap bounds the admission queue during recovery (default
+	// Clients/4+1). BackoffBase/BackoffCap bound the retry backoff in cycles
+	// (defaults 65536 and BackoffBase<<6).
+	AdmitCap    int
+	BackoffBase uint64
+	BackoffCap  uint64
+}
+
 // ServeHooks injects a defragmentation scheme into the serving loop.
 type ServeHooks struct {
 	// Maintenance runs every MaintEvery dispatched ops at virtual time now;
@@ -115,6 +168,11 @@ type ServeHooks struct {
 	// (0, false when idle). Must be observability-safe (no cycle charges);
 	// core.Engine.OpenEpoch qualifies. Optional.
 	EpochInfo func() (epoch uint64, open bool)
+
+	// Crash, when non-nil, arms a scheduled power failure and supplies the
+	// online recovery path (see CrashPlan). Nil leaves the serving loop
+	// byte-for-byte on its crash-free path.
+	Crash *CrashPlan
 }
 
 // ServeResult is a completed serving run.
@@ -141,6 +199,17 @@ type ServeResult struct {
 	// Dispatch-shape counters (deterministic for a fixed seed).
 	ParallelOps, SerialOps, Batches int
 
+	// Crash-resume availability metrics (set when a ServeHooks.Crash schedule
+	// fired; all in virtual cycles, deterministic for a fixed repro).
+	Crashes        int
+	CrashCycle     uint64 // virtual time of the (last) power failure
+	ResumeCycle    uint64 // CrashCycle + recovery cycles
+	BlackoutCycles uint64 // summed recovery durations
+	TimeToFirstAck uint64 // first post-resume completion minus CrashCycle (0 = none)
+	Retries        int    // client retries (lost requests + admission rejections)
+	Rejects        int    // admission-queue rejections during recovery
+	Admitted       int    // requests parked in the admission queue
+
 	Final alloc.FragStats
 }
 
@@ -159,6 +228,9 @@ type pendingOp struct {
 	isGet   bool
 	valSize int
 	arrival uint64
+	// retryAt, when nonzero, is the earliest virtual time the op's retried
+	// submission reached the server (crash resume); dispatch clamps to it.
+	retryAt uint64
 	// filled by execution:
 	svc, app uint64
 	wpq      uint64 // fence-drain stall cycles within svc (series runs only)
@@ -173,6 +245,10 @@ type clientState struct {
 	// stwRef is the end cycle of the STW pause the connection's delay chain
 	// currently leads back to (0 = none); see StallCause.STWRef.
 	stwRef uint64
+	// resubmitAt, when nonzero, is the earliest submission time of the
+	// client's next drawn op (set by crash-resume rescheduling, consumed by
+	// genOp).
+	resubmitAt uint64
 }
 
 // clientHeap is a binary min-heap of client ids ordered by (base, id),
@@ -240,6 +316,22 @@ func newSetMarks(nset int) *setMarks { return &setMarks{stamp: make([]uint64, ns
 func (m *setMarks) newBatch() { m.tag++; m.batchTag = m.tag }
 func (m *setMarks) newCand()  { m.tag++; m.candTag = m.tag }
 
+// catchCrashSite runs f, converting a scheduled-crash unwind (a panic with
+// *pmem.CrashAtSite, raised by an armed site recorder) into a value. Any other
+// panic propagates.
+func catchCrashSite(f func() error) (crash *pmem.CrashAtSite, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*pmem.CrashAtSite)
+			if !ok {
+				panic(r)
+			}
+			crash, err = c, nil
+		}
+	}()
+	return nil, f()
+}
+
 // Serve runs the serving scenario. ctx is the loader context (prepopulation
 // runs on it, serially; warmup runs on the client contexts).
 func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks ServeHooks) (ServeResult, error) {
@@ -288,6 +380,24 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 	elems := make(map[uint64]*list.Element)
 	liveBytes := uint64(0)
 
+	// Durable-ack tracking (crash runs only — nil maps keep the crash-free
+	// path untouched). acked mirrors, in dispatch order, every write whose
+	// transaction committed; pending is the one sub-transaction in flight, so
+	// at any crash site the durable image must equal acked or acked±pending.
+	plan := hooks.Crash
+	var acked map[uint64][]byte
+	var pending *PendingWrite
+	// held[i] is client i's lost-in-flight op awaiting retry after a crash;
+	// inFlight is the op currently executing serially; awaitFirstAck marks the
+	// window between resume and the first post-resume completion.
+	var held []*pendingOp
+	var inFlight *pendingOp
+	var awaitFirstAck bool
+	if plan != nil {
+		acked = make(map[uint64][]byte, cfg.Keyspace)
+		held = make([]*pendingOp, cfg.Clients)
+	}
+
 	lo, hi := cfg.MinVal, cfg.MaxVal
 	fillValue := func(k uint64, n int) []byte {
 		b := make([]byte, n)
@@ -305,8 +415,15 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 			back := lru.Back()
 			k := back.Value.(lruEnt).key
 			sz := back.Value.(lruEnt).size
+			if acked != nil {
+				pending = &PendingWrite{Key: k}
+			}
 			if _, err := store.Delete(ectx, k); err != nil {
 				return err
+			}
+			if acked != nil {
+				delete(acked, k)
+				pending = nil
 			}
 			lru.Remove(back)
 			delete(elems, k)
@@ -319,8 +436,12 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 	// Prepopulate the keyspace on the loader context.
 	for k := 0; k < cfg.Keyspace; k++ {
 		n := lo + rng.Intn(hi-lo+1)
-		if err := store.Insert(ctx, uint64(k), fillValue(uint64(k), n)); err != nil {
+		v := fillValue(uint64(k), n)
+		if err := store.Insert(ctx, uint64(k), v); err != nil {
 			return res, err
+		}
+		if acked != nil {
+			acked[uint64(k)] = v
 		}
 		elems[uint64(k)] = lru.PushFront(lruEnt{uint64(k), uint64(n)})
 		liveBytes += uint64(n)
@@ -365,8 +486,12 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		} else {
 			k := zipf.Next()
 			n := lo + rng.Intn(hi-lo+1)
-			if err := store.Insert(c, k, fillValue(k, n)); err != nil {
+			v := fillValue(k, n)
+			if err := store.Insert(c, k, v); err != nil {
 				return res, err
+			}
+			if acked != nil {
+				acked[k] = v
 			}
 			if e, ok := elems[k]; ok {
 				liveBytes -= e.Value.(lruEnt).size
@@ -491,11 +616,19 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		}
 	}
 
-	// genOp pops the lowest-virtual-time client and draws its operation.
+	// genOp pops the lowest-virtual-time client and draws its operation. A
+	// held (crash-lost, retried) op is replayed as drawn — no fresh randomness,
+	// so the post-resume stream stays aligned with the repro's seed.
 	genOp := func() pendingOp {
 		id := heap.pop()
 		c := &clients[id]
-		op := pendingOp{cli: id, arrival: c.nextArrival}
+		if held != nil && held[id] != nil {
+			op := *held[id]
+			held[id] = nil
+			return op
+		}
+		op := pendingOp{cli: id, arrival: c.nextArrival, retryAt: c.resubmitAt}
+		c.resubmitAt = 0
 		op.isGet = rng.Float64() < cfg.GetFraction
 		op.key = zipf.Next()
 		if !op.isGet {
@@ -538,10 +671,17 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		if stallUntil > start {
 			start = stallUntil
 		}
+		if op.retryAt > start {
+			start = op.retryAt
+		}
 		comp := start + op.svc
 		c.readyAt = comp
 		if comp > vHigh {
 			vHigh = comp
+		}
+		if awaitFirstAck {
+			res.TimeToFirstAck = comp - res.CrashCycle
+			awaitFirstAck = false
 		}
 
 		queueWait := base - op.arrival // waiting behind this connection's previous op
@@ -626,6 +766,9 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 	// goroutine.
 	execSerial := func(op *pendingOp) error {
 		c := &clients[op.cli]
+		if plan != nil {
+			inFlight = op
+		}
 		t0 := c.ctx.Clock.Total()
 		a0 := c.ctx.Clock.Cycles(sim.CatApp)
 		var d0 uint64
@@ -635,8 +778,16 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		if op.isGet {
 			_, op.hit = store.Get(c.ctx, op.key)
 		} else {
-			if err := store.Insert(c.ctx, op.key, fillValue(op.key, op.valSize)); err != nil {
+			v := fillValue(op.key, op.valSize)
+			if acked != nil {
+				pending = &PendingWrite{Key: op.key, Val: v}
+			}
+			if err := store.Insert(c.ctx, op.key, v); err != nil {
 				return err
+			}
+			if acked != nil {
+				acked[op.key] = v
+				pending = nil
 			}
 			if e, ok := elems[op.key]; ok {
 				liveBytes -= e.Value.(lruEnt).size
@@ -657,6 +808,7 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		}
 		res.SerialOps++
 		commit(op)
+		inFlight = nil
 		return nil
 	}
 
@@ -675,85 +827,290 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		}
 	}
 
-	if hooks.EpochOpen != nil {
-		epochOpen = hooks.EpochOpen()
-		noteEpoch(vHigh)
-	}
-	for dispatched < cfg.Ops {
-		if dispatched >= nextMaint {
-			nextMaint += cfg.MaintEvery
-			if hooks.Maintenance != nil {
-				if pause := hooks.Maintenance(vHigh); pause > 0 {
-					if vHigh+pause > stallUntil {
-						if series != nil {
-							series.AddInterval(obsv.IntervalSTW, vHigh, vHigh+pause, epTrack.id)
+	// dispatch runs the serving loop to completion (or until a crash site
+	// fires, unwinding through it as a *pmem.CrashAtSite panic).
+	dispatch := func() error {
+		if hooks.EpochOpen != nil {
+			epochOpen = hooks.EpochOpen()
+			noteEpoch(vHigh)
+		}
+		for dispatched < cfg.Ops {
+			if dispatched >= nextMaint {
+				nextMaint += cfg.MaintEvery
+				if hooks.Maintenance != nil {
+					if pause := hooks.Maintenance(vHigh); pause > 0 {
+						if vHigh+pause > stallUntil {
+							if series != nil {
+								series.AddInterval(obsv.IntervalSTW, vHigh, vHigh+pause, epTrack.id)
+							}
+							stallUntil = vHigh + pause
 						}
-						stallUntil = vHigh + pause
 					}
 				}
+				if hooks.EpochOpen != nil {
+					epochOpen = hooks.EpochOpen()
+					noteEpoch(vHigh)
+				}
 			}
-			if hooks.EpochOpen != nil {
-				epochOpen = hooks.EpochOpen()
-				noteEpoch(vHigh)
+			if cfg.MinVal2 > 0 && cfg.MaxVal2 >= cfg.MinVal2 && dispatched >= driftAt {
+				lo, hi = cfg.MinVal2, cfg.MaxVal2
 			}
-		}
-		if cfg.MinVal2 > 0 && cfg.MaxVal2 >= cfg.MinVal2 && dispatched >= driftAt {
-			lo, hi = cfg.MinVal2, cfg.MaxVal2
+
+			// Collect a batch of commuting GETs in virtual-time order.
+			batch = batch[:0]
+			marks.newBatch()
+			canBatch := ps != nil && !epochOpen
+			for dispatched+len(batch) < cfg.Ops {
+				var op pendingOp
+				if carry != nil {
+					op, carry = *carry, nil
+				} else if len(heap.ids) > 0 {
+					op = genOp()
+				} else {
+					break // every client is already in the batch
+				}
+				if canBatch && op.isGet && len(batch) < cfg.MaxBatch && !footprintSets(op.key) {
+					acceptCand()
+					batch = append(batch, op)
+					continue
+				}
+				carry = &op
+				break
+			}
+
+			if len(batch) > 0 {
+				b := batch
+				if err := workpool.ForEach(len(b), func(i int) error {
+					execGet(&b[i])
+					return nil
+				}); err != nil {
+					return err
+				}
+				for i := range b {
+					commit(&b[i])
+				}
+				res.ParallelOps += len(b)
+				res.Batches++
+				afterRound(len(b))
+			}
+			if carry != nil && len(batch) == 0 {
+				op := carry
+				carry = nil
+				if err := execSerial(op); err != nil {
+					return err
+				}
+				afterRound(1)
+			}
 		}
 
-		// Collect a batch of commuting GETs in virtual-time order.
-		batch = batch[:0]
-		marks.newBatch()
-		canBatch := ps != nil && !epochOpen
-		for dispatched+len(batch) < cfg.Ops {
-			var op pendingOp
-			if carry != nil {
-				op, carry = *carry, nil
-			} else if len(heap.ids) > 0 {
-				op = genOp()
-			} else {
-				break // every client is already in the batch
+		// Drain any open epoch so Final reflects a quiesced machine.
+		if hooks.Step != nil {
+			for epochOpen {
+				epochOpen, _ = hooks.Step(cfg.MaxBatch)
 			}
-			if canBatch && op.isGet && len(batch) < cfg.MaxBatch && !footprintSets(op.key) {
-				acceptCand()
-				batch = append(batch, op)
-				continue
-			}
-			carry = &op
-			break
+			noteEpoch(vHigh)
 		}
-
-		if len(batch) > 0 {
-			b := batch
-			if err := workpool.ForEach(len(b), func(i int) error {
-				execGet(&b[i])
-				return nil
-			}); err != nil {
-				return res, err
-			}
-			for i := range b {
-				commit(&b[i])
-			}
-			res.ParallelOps += len(b)
-			res.Batches++
-			afterRound(len(b))
-		}
-		if carry != nil && len(batch) == 0 {
-			op := carry
-			carry = nil
-			if err := execSerial(op); err != nil {
-				return res, err
-			}
-			afterRound(1)
-		}
+		return nil
 	}
 
-	// Drain any open epoch so Final reflects a quiesced machine.
-	if hooks.Step != nil {
-		for epochOpen {
-			epochOpen, _ = hooks.Step(cfg.MaxBatch)
+	// resumeFromCrash swaps in the recovered machine and restarts the arrival
+	// process with degraded-mode admission: lost requests (in flight or queued
+	// server-side when the power failed) retry with capped exponential backoff;
+	// blackout-era submissions hit a bounded admission queue — the first
+	// AdmitCap park until resume, the rest are rejected into backoff. The whole
+	// reschedule is simulated serially in (time, client) order, so the resumed
+	// run is a pure function of the repro at any host thread count.
+	resumeFromCrash := func(crash *pmem.CrashAtSite) error {
+		crashAt := vHigh
+		rec, err := plan.Recover(crash, acked, pending)
+		if err != nil {
+			return err
 		}
-		noteEpoch(vHigh)
+		// Swap the machine. The recovered pool reopens the same device, so the
+		// drain probe and set geometry carry over.
+		store = rec.Store
+		ps, _ = store.(parallelStore)
+		if rec.Pool != nil {
+			p = rec.Pool
+			dev = p.Device()
+		}
+		hooks.Maintenance = rec.Hooks.Maintenance
+		hooks.Step = rec.Hooks.Step
+		hooks.EpochOpen = rec.Hooks.EpochOpen
+		hooks.EpochInfo = rec.Hooks.EpochInfo
+		if rec.Hooks.Foot != nil {
+			foot = rec.Hooks.Foot
+		} else {
+			foot = func() alloc.FragStats { return p.Heap().Frag(p.PageShift()) }
+		}
+		// The pre-crash epoch (if any) died with the power: close its overlay.
+		epochOpen = false
+		noteEpoch(crashAt)
+
+		resumeAt := crashAt + rec.Cycles
+		res.Crashes++
+		res.CrashCycle = crashAt
+		res.ResumeCycle = resumeAt
+		res.BlackoutCycles += rec.Cycles
+		if series != nil {
+			series.AddInterval(obsv.IntervalRecovery, crashAt, resumeAt, 0)
+		}
+		awaitFirstAck = true
+		if resumeAt > stallUntil {
+			stallUntil = resumeAt
+		}
+
+		// Rebuild the volatile LRU from the verified durable model, keys
+		// ascending (deterministic; recency order died with the power).
+		lru.Init()
+		for k := range elems {
+			delete(elems, k)
+		}
+		liveBytes = 0
+		keys := make([]uint64, 0, len(rec.Model))
+		for k := range rec.Model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			n := uint64(len(rec.Model[k]))
+			elems[k] = lru.PushFront(lruEnt{k, n})
+			liveBytes += n
+		}
+		acked = rec.Model
+		pending = nil
+
+		// Degraded-mode reschedule.
+		backBase := plan.BackoffBase
+		if backBase == 0 {
+			backBase = 65536
+		}
+		backCap := plan.BackoffCap
+		if backCap == 0 {
+			backCap = backBase << 6
+		}
+		admitCap := plan.AdmitCap
+		if admitCap <= 0 {
+			admitCap = cfg.Clients/4 + 1
+		}
+		backoff := func(tries int) uint64 {
+			b := backBase
+			for i := 0; i < tries && b < backCap; i++ {
+				b <<= 1
+			}
+			if b > backCap {
+				b = backCap
+			}
+			return b
+		}
+		type attempt struct {
+			cli   int
+			t     uint64 // when this submission (re)reaches the server
+			tries int
+			op    *pendingOp // non-nil: a drawn op lost in flight
+		}
+		var atts []attempt
+		lost := func(op *pendingOp) {
+			res.Retries++
+			atts = append(atts, attempt{cli: op.cli, t: crashAt + backoff(0), tries: 1, op: op})
+		}
+		if inFlight != nil {
+			op := *inFlight
+			inFlight = nil
+			lost(&op)
+		}
+		if carry != nil {
+			op := carry
+			carry = nil
+			lost(op)
+		}
+		for _, id := range heap.ids {
+			c := &clients[id]
+			if c.nextArrival <= crashAt {
+				// Submitted before the failure; lost with the server's queue.
+				res.Retries++
+				atts = append(atts, attempt{cli: id, t: crashAt + backoff(0), tries: 1})
+			} else {
+				atts = append(atts, attempt{cli: id, t: c.nextArrival})
+			}
+		}
+		heap.ids = heap.ids[:0]
+		// finalize re-enters a client into the dispatch heap; submitAt > 0 is
+		// the time its submission reached the server (0 = parked in the
+		// admission queue; stallUntil already clamps its start to resumeAt).
+		finalize := func(a attempt, submitAt uint64) {
+			c := &clients[a.cli]
+			var base uint64
+			if a.op != nil {
+				op := *a.op
+				op.retryAt = submitAt
+				held[a.cli] = &op
+				base = op.arrival
+			} else {
+				c.resubmitAt = submitAt
+				base = c.nextArrival
+			}
+			if submitAt > base {
+				base = submitAt
+			}
+			if c.readyAt > base {
+				base = c.readyAt
+			}
+			heap.base[a.cli] = base
+			heap.push(a.cli)
+		}
+		admitted := 0
+		for len(atts) > 0 {
+			mi := 0
+			for i := 1; i < len(atts); i++ {
+				if atts[i].t < atts[mi].t || (atts[i].t == atts[mi].t && atts[i].cli < atts[mi].cli) {
+					mi = i
+				}
+			}
+			a := atts[mi]
+			atts[mi] = atts[len(atts)-1]
+			atts = atts[:len(atts)-1]
+			switch {
+			case a.t >= resumeAt:
+				finalize(a, a.t)
+			case admitted < admitCap:
+				admitted++
+				res.Admitted++
+				finalize(a, 0)
+			default:
+				res.Rejects++
+				res.Retries++
+				if series != nil {
+					series.AddInterval(obsv.IntervalBackoff, a.t, a.t+backoff(a.tries), uint64(a.cli))
+				}
+				a.t += backoff(a.tries)
+				a.tries++
+				atts = append(atts, a)
+			}
+		}
+		return nil
+	}
+
+	if plan != nil && plan.Arm != nil {
+		plan.Arm()
+	}
+	for {
+		var crash *pmem.CrashAtSite
+		var err error
+		if plan != nil {
+			crash, err = catchCrashSite(dispatch)
+		} else {
+			err = dispatch()
+		}
+		if err != nil {
+			return res, err
+		}
+		if crash == nil {
+			break
+		}
+		if err := resumeFromCrash(crash); err != nil {
+			return res, err
+		}
 	}
 
 	res.Makespan = vHigh

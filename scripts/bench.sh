@@ -1,5 +1,7 @@
 #!/bin/sh
-# bench.sh — produce the machine-readable host-performance record BENCH_7.json.
+# bench.sh — produce the next machine-readable host-performance record
+# BENCH_<n>.json (one past the highest index present, so gaps in the
+# sequence — deleted or never-committed records — are tolerated).
 #
 # Four row families, every row carrying host_cores and ffccd_parallel so
 # scaling comparisons stay interpretable away from the machine they ran on:
@@ -36,7 +38,19 @@ cd "$(dirname "$0")/.."
 SCALE="${1:-0.002}"
 REPEAT="${2:-2}"
 PAPER="${FFCCD_BENCH_PAPER:-1}"
-OUT="BENCH_7.json"
+# Next record index: one past the highest BENCH_<n>.json present (gaps in
+# the numbering are fine — only the maximum matters).
+MAX=0
+for f in BENCH_*.json; do
+	[ -e "$f" ] || continue
+	n="${f#BENCH_}"
+	n="${n%.json}"
+	case "$n" in
+	*[!0-9]* | '') continue ;;
+	esac
+	[ "$n" -gt "$MAX" ] && MAX="$n"
+done
+OUT="BENCH_$((MAX + 1)).json"
 TMP="${TMPDIR:-/tmp}"
 
 go build -o "$TMP/ffccd-bench" ./cmd/ffccd-bench
@@ -51,22 +65,22 @@ run() { # run <outfile> [ffccd-bench args...]
 }
 
 # 1. Baseline rows at the working scale.
-run bench7_fig5.json -experiment fig5 -scale "$SCALE" -repeat "$REPEAT"
-run bench7_fig14.json -experiment fig14 -scale "$SCALE" -repeat "$REPEAT"
-run bench7_fig14_nofork.json -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT"
+run bench_fig5.json -experiment fig5 -scale "$SCALE" -repeat "$REPEAT"
+run bench_fig14.json -experiment fig14 -scale "$SCALE" -repeat "$REPEAT"
+run bench_fig14_nofork.json -experiment fig14 -scale "$SCALE" -fork=false -repeat "$REPEAT"
 
 # 2. Per-core scaling rows (env-var path on purpose).
 for P in 1 2 4 8; do
-	f="$TMP/bench7_fig5_p$P.json"
+	f="$TMP/bench_fig5_p$P.json"
 	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
 		-experiment fig5 -scale "$SCALE" -repeat "$REPEAT" >/dev/null
 	parts="$parts $f"
 done
 
 # 3. Serving rows: the SLO grid, then the in-run parallel-scaling pair.
-run bench7_serving.json -experiment serving -scale "$SCALE" -repeat "$REPEAT"
+run bench_serving.json -experiment serving -scale "$SCALE" -repeat "$REPEAT"
 for P in 1 4; do
-	f="$TMP/bench7_serving_p$P.json"
+	f="$TMP/bench_serving_p$P.json"
 	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
 		-experiment serving -scale "$SCALE" >/dev/null
 	parts="$parts $f"
@@ -74,8 +88,8 @@ done
 
 # 4. Paper-scale rows (scale 1.0; a single repetition — these run for hours).
 if [ "$PAPER" = 1 ]; then
-	run bench7_fig5_paper.json -experiment fig5 -scale paper
-	run bench7_fig14_paper.json -experiment fig14 -scale paper
+	run bench_fig5_paper.json -experiment fig5 -scale paper
+	run bench_fig14_paper.json -experiment fig14 -scale paper
 fi
 
 # Merge the per-configuration record arrays into one file.

@@ -157,6 +157,12 @@ func main() {
 		tol = v
 	}
 
+	// Name the pair up front: on failure the message below names only the
+	// offending key, and knowing WHICH two records disagreed is the first
+	// thing a triage needs.
+	fmt.Printf("bench_gate: comparing %s (old) vs %s (new)\n",
+		filepath.Base(oldPath), filepath.Base(newPath))
+
 	oldRecs, err := load(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench_gate:", err)
