@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff benchgate servesmoke servecrash golden crashmatrix clean
+.PHONY: all build test race vet fmt check bench bench-host benchsmoke benchscale benchdiff benchgate servesmoke servecrash serveshard golden crashmatrix clean
 
 all: check
 
@@ -46,8 +46,9 @@ servecrash: build
 # check is the full CI target: gofmt + vet + race-detector short tests +
 # full tests + the reduced crash-schedule matrix + the measurement smoke +
 # the serving-layer smoke + the serving-path crash campaign + the multicore
-# scaling gate + the bench-record regression gate.
-check: fmt vet race test crashmatrix benchsmoke servesmoke servecrash benchscale benchgate
+# scaling gate + the sharded-serving scaling gate + the bench-record
+# regression gate.
+check: fmt vet race test crashmatrix benchsmoke servesmoke servecrash benchscale serveshard benchgate
 
 # bench runs the Go benchmarks (figure drivers + device micro-benchmarks).
 bench:
@@ -71,6 +72,13 @@ benchgate:
 # check). Skips cleanly on single-core hosts.
 benchscale: build
 	scripts/benchscale.sh
+
+# serveshard is the sharded-serving scaling gate: one serving scheme at
+# -shards 4 must run at least 2x faster than at -shards 1 on a >=4-core
+# host (each shard is an independent simulated machine run as a workpool
+# job). Skips cleanly on hosts with fewer than 4 cores.
+serveshard: build
+	scripts/serveshard.sh
 
 # benchsmoke is the fast CI pass over the measurement tooling: the device
 # micro-benchmarks run once each (-benchtime=1x), and the bench CLI runs a

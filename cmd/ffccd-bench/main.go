@@ -50,6 +50,11 @@ type benchRecord struct {
 	Experiment string  `json:"experiment"`
 	Scale      float64 `json:"scale"`
 	Parallel   int     `json:"parallel"`
+	// Shards is the serving experiment's simulated-machine count (-shards;
+	// omitted for unsharded rows). Rows at different shard counts are
+	// different simulated deployments, so the bench gate compares them
+	// separately.
+	Shards int `json:"shards,omitempty"`
 	// HostCores and FFCCDParallel pin the host context every row was
 	// measured under: the machine's logical CPU count and the effective
 	// worker-pool size (FFCCD_PARALLEL / -parallel resolved). Scaling
@@ -105,6 +110,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (open in ui.perfetto.dev) of every run's defrag phases to this file")
 	traceRing := flag.Int("trace-ring", 0, "flight-recorder mode: keep only the newest N events per simulated thread (0 = full trace)")
 	httpObs := flag.String("httpobs", "", "serve expvar metrics (/debug/vars) and pprof (/debug/pprof) on this address while experiments run")
+	shards := flag.Int("shards", 1, "serving experiment: shard the keyspace across N independent simulated machines")
+	scheme := flag.String("scheme", "", "serving experiment: run only this defrag scheme (none|ffccd|stw|mesh; empty = all)")
 	flag.Parse()
 
 	scaleVal, err := parseScale(*scaleArg)
@@ -186,7 +193,11 @@ func main() {
 		{"fig15", func() (fmt.Stringer, error) { r, err := experiments.Figure15(*scale); return r, err }},
 		{"fig16", func() (fmt.Stringer, error) { r, err := experiments.Figure16(*scale); return r, err }},
 		{"serving", func() (fmt.Stringer, error) {
-			r, err := experiments.Serving(experiments.ServingOptions{Scale: *scale})
+			o := experiments.ServingOptions{Scale: *scale, Shards: *shards}
+			if *scheme != "" {
+				o.Schemes = []string{*scheme}
+			}
+			r, err := experiments.Serving(o)
 			return r, err
 		}},
 		{"ablation-rbb", func() (fmt.Stringer, error) {
@@ -231,6 +242,7 @@ func main() {
 				Experiment:    e.id,
 				Scale:         *scale,
 				Parallel:      experiments.Parallelism(),
+				Shards:        shardsFor(e.id, *shards),
 				HostCores:     runtime.NumCPU(),
 				FFCCDParallel: experiments.Parallelism(),
 				Fork:          experiments.ForkEnabled(),
@@ -322,6 +334,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// shardsFor reports the shard count to record for an experiment: only the
+// serving experiment honours -shards, and unsharded rows omit the field.
+func shardsFor(id string, shards int) int {
+	if id == "serving" && shards > 1 {
+		return shards
+	}
+	return 0
 }
 
 // parseScale resolves the -scale argument: a float, or the shorthand

@@ -27,6 +27,13 @@
 //	ffccd-crashtest -serve -max-sites 24 -nested
 //	ffccd-crashtest -serve -scheme ffccd -shrink
 //
+// -serve-shards N runs the serving campaign against an N-shard deployment:
+// one census pass yields every shard's site space, each shard is crashed in
+// turn while its siblings keep serving, and the coverage line splits counts
+// by crash-target shard:
+//
+//	ffccd-crashtest -serve -serve-shards 4 -max-sites 32
+//
 // Replay one schedule (the line a failing campaign printed):
 //
 //	ffccd-crashtest -repro '{"setting":"LL/1T/ffccd","seed":1,...}'
@@ -66,6 +73,7 @@ func main() {
 	serveClients := flag.Int("serve-clients", 0, "serving campaign: client connections (0 = default)")
 	serveOps := flag.Int("serve-ops", 0, "serving campaign: op budget per trial (0 = default)")
 	serveKeys := flag.Int("serve-keys", 0, "serving campaign: keyspace (0 = default)")
+	serveShards := flag.Int("serve-shards", 1, "serving campaign: shard the deployment across N simulated machines")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -101,6 +109,7 @@ func main() {
 			Ops:       *serveOps,
 			Keys:      *serveKeys,
 			MaxSites:  *maxSites,
+			Shards:    *serveShards,
 			Nested:    *nested,
 			MaxNested: *maxNested,
 			Timeout:   *timeout,
@@ -234,6 +243,12 @@ func runServeRepro(line string) int {
 	res, err := faultinject.RunServeScheduled(rep, faultinject.ServeTrialOptions{})
 	fmt.Printf("schedule: %s\n", rep.MarshalLine())
 	fmt.Printf("sites=%d", res.Census.Total)
+	if rep.Shards > 1 {
+		fmt.Printf(" shards=%d crash_shard=%d", rep.Shards, rep.Shard)
+		for s, sc := range res.ShardCensus {
+			fmt.Printf(" s%d_sites=%d", s, sc.Total)
+		}
+	}
 	if res.Crash != nil {
 		sv := res.Serve
 		fmt.Printf(" crash=%q recovery_sites=%d blackout=%d ttfa=%d retries=%d rejects=%d admitted=%d",

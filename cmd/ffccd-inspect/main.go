@@ -22,6 +22,12 @@
 // renders the recovery blackout (R) and retry-backoff (B) overlays too:
 //
 //	ffccd-inspect -timeline -crash-at 0.5
+//
+// -shards N renders the timeline of a sharded deployment: one lane per
+// simulated machine (its own clock domain and GC overlays) followed by the
+// deterministic virtual-time merge of all lanes:
+//
+//	ffccd-inspect -timeline -shards 4
 package main
 
 import (
@@ -46,13 +52,14 @@ func main() {
 	scale := flag.Float64("scale", 0.002, "workload scale for -timeline")
 	window := flag.Uint64("window", 0, "-timeline window width in simulated cycles (0 = scale-aware default)")
 	crashAt := flag.Float64("crash-at", 0, "-timeline: crash each scheme at this fraction of its site census (0 = no crash)")
+	shards := flag.Int("shards", 1, "-timeline: shard the deployment across N simulated machines (per-shard lanes + merged overlay)")
 	flag.Parse()
 
 	if *timeline {
 		if *crashAt > 0 {
-			runCrashTimeline(*crashAt, *window)
+			runCrashTimeline(*crashAt, *window, *shards)
 		} else {
-			runTimeline(*scale, *window)
+			runTimeline(*scale, *window, *shards)
 		}
 		return
 	}
@@ -142,11 +149,12 @@ func main() {
 // runTimeline renders the per-window p999 timeline of the serving scenario
 // for FFCCD and the STW comparator side by side, with GC overlay marks — the
 // terminal version of the paper's tail-interference story.
-func runTimeline(scale float64, window uint64) {
+func runTimeline(scale float64, window uint64, shards int) {
 	res, err := experiments.Serving(experiments.ServingOptions{
 		Scale:        scale,
 		Schemes:      []string{"ffccd", "stw"},
 		WindowCycles: window,
+		Shards:       shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -157,6 +165,7 @@ func runTimeline(scale float64, window uint64) {
 		if v.Series == nil {
 			continue
 		}
+		renderShardLanes(v.Name, v.ShardSeries)
 		fmt.Print(obsv.RenderTimeline(v.Series, 48))
 		if ex, ok := v.Series.WorstExemplar(); ok {
 			fmt.Printf("worst request: %s\n", ex)
@@ -178,11 +187,12 @@ func runTimeline(scale float64, window uint64) {
 // runCrashTimeline renders the availability grid's per-window p999 timelines:
 // one injected power failure per scheme, with the recovery blackout (R) and
 // retry-backoff (B) overlay marks alongside the usual S/E GC overlays.
-func runCrashTimeline(frac float64, window uint64) {
+func runCrashTimeline(frac float64, window uint64, shards int) {
 	res, err := experiments.ServingCrash(experiments.ServingCrashOptions{
 		SiteFrac:     frac,
 		WindowCycles: window,
 		Schemes:      []string{"ffccd", "stw"},
+		Shards:       shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -195,6 +205,11 @@ func runCrashTimeline(frac float64, window uint64) {
 		}
 		fmt.Printf("%s: crash@%d, resume@%d (blackout %d cycles, first ack +%d, p999 ramp %d cycles)\n",
 			v.Name, v.CrashCycle, v.ResumeCycle, v.BlackoutCycles, v.TimeToFirstAck, v.RampCycles)
+		if v.Shards > 1 {
+			fmt.Printf("%d shards, crash on shard %d; siblings served %d ops during the blackout\n",
+				v.Shards, v.CrashShard, v.SiblingOps)
+		}
+		renderShardLanes(v.Name, v.ShardSeries)
 		fmt.Print(obsv.RenderTimeline(v.Series, 48))
 		rec, back := 0, 0
 		for _, iv := range v.Series.Intervals() {
@@ -208,6 +223,22 @@ func runCrashTimeline(frac float64, window uint64) {
 		fmt.Printf("overlays: %d recovery blackouts, %d retry backoffs, %d retries, %d rejects\n\n",
 			rec, back, v.Retries, v.Rejects)
 	}
+}
+
+// renderShardLanes prints one timeline lane per shard (each machine's own
+// clock domain) ahead of the merged overlay; no-op for unsharded runs.
+func renderShardLanes(scheme string, shardSeries []*obsv.TimeSeries) {
+	if len(shardSeries) < 2 {
+		return
+	}
+	for s, ts := range shardSeries {
+		if ts == nil || ts.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%s shard %d lane:\n", scheme, s)
+		fmt.Print(obsv.RenderTimeline(ts, 48))
+	}
+	fmt.Printf("%s merged (virtual-time union of all lanes):\n", scheme)
 }
 
 func dumpPhase(ctx *ffccd.Ctx, p *ffccd.Pool) {

@@ -22,6 +22,15 @@
 //
 //	ffccd-redis -crash-at 0.5
 //	ffccd-redis -crash-at 0.25 -scheme ffccd -ops 8000 -keys 1600
+//
+// -shards N partitions the keyspace by key-hash across N independent
+// simulated machines (each its own device, heap, and clock domain), runs
+// them host-parallel, and merges the per-shard results deterministically.
+// It composes with both serving and availability modes; a sharded crash
+// blacks out one shard while its siblings keep serving:
+//
+//	ffccd-redis -clients 32 -shards 4
+//	ffccd-redis -crash-at 0.5 -shards 4 -crash-shard 1
 package main
 
 import (
@@ -43,6 +52,8 @@ func main() {
 	window := flag.Uint64("window", 0, "serving mode: time-series window width in simulated cycles (0 = scale-aware default)")
 	noWindows := flag.Bool("nowindows", false, "serving mode: disable the per-window time series")
 	crashAt := flag.Float64("crash-at", 0, "availability mode: crash each scheme at this fraction of its site census (0 = off)")
+	shards := flag.Int("shards", 1, "serving/availability modes: shard the keyspace across N independent machines")
+	crashShard := flag.Int("crash-shard", 0, "availability mode: the shard the crash targets (with -shards)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -58,6 +69,8 @@ func main() {
 			Seed:         *seed,
 			SiteFrac:     *crashAt,
 			WindowCycles: *window,
+			Shards:       *shards,
+			CrashShard:   *crashShard,
 		}
 		if *scheme != "all" {
 			opts.Schemes = []string{*scheme}
@@ -80,6 +93,7 @@ func main() {
 			Seed:         *seed,
 			WindowCycles: *window,
 			NoWindows:    *noWindows,
+			Shards:       *shards,
 		}
 		if *scheme != "all" {
 			opts.Schemes = []string{*scheme}

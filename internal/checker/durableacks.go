@@ -54,3 +54,14 @@ func DurableAcks(ctx *sim.Ctx, s ds.Store, acked map[uint64][]byte, pending *Pen
 	}
 	return nil, fmt.Errorf("checker: durable-ack violation: %w (still failing with the in-flight write applied)", err)
 }
+
+// DurableAcksShard is DurableAcks for one machine of a sharded deployment:
+// the same check, with the shard index stitched into the violation so a
+// multi-shard trial's verdict names the machine that lost the write.
+func DurableAcksShard(ctx *sim.Ctx, shard int, s ds.Store, acked map[uint64][]byte, pending *PendingWrite) (map[uint64][]byte, error) {
+	model, err := DurableAcks(ctx, s, acked, pending)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", shard, err)
+	}
+	return model, nil
+}

@@ -75,7 +75,10 @@ var (
 	// restore plus ResumeRunner's RNG repositioning. With the counter-based
 	// workload source the RNG part is O(1), so this stays flat as scale
 	// (and therefore the checkpointed draw count) grows; the old
-	// draw-and-discard skip made it linear in scale.
+	// draw-and-discard skip made it linear in scale. The dominant remaining
+	// cost, the device page copies, restores as coalesced disjoint spans
+	// fanned out on the worker pool (pmem.Device.Restore), so large restores
+	// also scale with host cores.
 	forkRestoreNanos atomic.Uint64
 )
 

@@ -6,6 +6,7 @@ import (
 
 	"ffccd/internal/alloc"
 	"ffccd/internal/core"
+	"ffccd/internal/ds"
 	"ffccd/internal/kv"
 	"ffccd/internal/mesh"
 	"ffccd/internal/obsv"
@@ -25,6 +26,13 @@ type ServingOptions struct {
 	RatePerSec float64 // <= 0 auto-calibrates (each scheme lands on the same rate)
 	Seed       int64
 	Schemes    []string // subset of "none", "ffccd", "stw", "mesh"; nil = all
+
+	// Shards is the number of independent simulated machines the keyspace is
+	// hash-partitioned across (<= 1 = one machine, the pre-sharding setup).
+	// Each shard gets its own device, heap, clock domain, scheme engine, and
+	// RNG stream; shards run host-parallel as workpool jobs and their
+	// results merge deterministically (see internal/redisws/shard.go).
+	Shards int
 
 	// WindowCycles is the time-series window width in simulated cycles
 	// (0 = obsv.DefaultWindowCycles). ExemplarK is the worst-request
@@ -58,14 +66,35 @@ type ServingVariant struct {
 
 	// Series is the run's windowed time series (per-window SLO metrics,
 	// worst-request exemplars, GC overlay intervals); nil when
-	// ServingOptions.NoWindows was set.
+	// ServingOptions.NoWindows was set. In a sharded run this is the
+	// deterministic merge of the per-shard series.
 	Series *obsv.TimeSeries
+
+	// Shards is the machine count this variant ran on; PerShard and
+	// ShardSeries carry the per-machine rows (nil when Shards <= 1).
+	Shards      int
+	PerShard    []ServingShard
+	ShardSeries []*obsv.TimeSeries
+}
+
+// ServingShard is one machine's row of a sharded serving variant.
+type ServingShard struct {
+	Shard     int
+	Ops       int
+	P50       float64
+	P999      float64
+	Rate      float64
+	SimCycles uint64
+	Parallel  int
+	Serial    int
+	Evictions int
 }
 
 // ServingResult is the whole serving grid.
 type ServingResult struct {
 	Clients  int
 	Ops      int
+	Shards   int
 	Rate     float64 // offered load (ops/sec), equal across schemes
 	Variants []ServingVariant
 }
@@ -89,6 +118,9 @@ func servingDefaults(o ServingOptions) ServingOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 7
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	if len(o.Schemes) == 0 {
 		o.Schemes = []string{"none", "ffccd", "stw", "mesh"}
@@ -135,7 +167,7 @@ func servingConfig(o ServingOptions) redisws.ServeConfig {
 // for small per-op barrier interference.
 func Serving(o ServingOptions) (ServingResult, error) {
 	o = servingDefaults(o)
-	res := ServingResult{Clients: o.Clients, Ops: o.Ops}
+	res := ServingResult{Clients: o.Clients, Ops: o.Ops, Shards: o.Shards}
 	outs := make([]ServingVariant, len(o.Schemes))
 	rates := make([]float64, len(o.Schemes))
 	err := parallelFor(len(o.Schemes), func(i int) error {
@@ -156,38 +188,47 @@ func Serving(o ServingOptions) (ServingResult, error) {
 	return res, nil
 }
 
-func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64, error) {
-	cfg := servingConfig(o)
-	env, err := NewEnv(uint64(o.Keyspace)*512*6+(32<<20), 12)
-	if err != nil {
-		return ServingVariant{}, 0, err
-	}
-	store, err := kv.NewEcho(env.Ctx, env.Pool, o.Keyspace/2+64)
-	if err != nil {
-		return ServingVariant{}, 0, err
-	}
+// servingMachine is one simulated machine of a serving variant: its
+// environment, store, scheme engine, GC clock domain, and serving hooks.
+// Every field is private to the machine's clock domain, so shards never
+// share simulated state.
+type servingMachine struct {
+	env      *Env
+	store    ds.Store
+	hooks    redisws.ServeHooks
+	gcCtx    *sim.Ctx
+	eng      *core.Engine
+	name     string
+	series   *obsv.TimeSeries
+	closeEng func()
+}
 
-	var hooks redisws.ServeHooks
-	gcCtx := sim.NewCtx(&env.Cfg)
-	name := scheme
-	var eng *core.Engine
-	var closeEng func()
-	defer func() {
-		if closeEng != nil {
-			closeEng()
-		}
-	}()
+// newServingMachine builds one machine for scheme. keys sizes the pool and
+// store index (the machine's owned keyspace — the whole keyspace unsharded,
+// the hash-owned subset per shard); shard/shards label the observability
+// hookup.
+func newServingMachine(scheme string, o ServingOptions, keys, shard, shards int) (*servingMachine, error) {
+	env, err := NewEnv(uint64(keys)*512*6+(32<<20), 12)
+	if err != nil {
+		return nil, err
+	}
+	store, err := kv.NewEcho(env.Ctx, env.Pool, keys/2+64)
+	if err != nil {
+		return nil, err
+	}
+	m := &servingMachine{env: env, store: store, gcCtx: sim.NewCtx(&env.Cfg), name: scheme}
 
 	switch scheme {
 	case "none":
-		name = "PMDK (baseline)"
+		m.name = "PMDK (baseline)"
 	case "ffccd":
-		name = "FFCCD"
+		m.name = "FFCCD"
 		opt := core.Options{Scheme: core.SchemeFFCCDCheckLookup, TriggerRatio: 1.10, TargetRatio: 1.01, BatchObjects: 64}
-		eng = core.NewEngine(env.Pool, opt)
-		closeEng = eng.Close
+		eng := core.NewEngine(env.Pool, opt)
+		m.eng, m.closeEng = eng, eng.Close
+		gcCtx := m.gcCtx
 		open := false
-		hooks.Maintenance = func(uint64) uint64 {
+		m.hooks.Maintenance = func(uint64) uint64 {
 			if open || env.Pool.Heap().Frag(12).FragRatio <= opt.TriggerRatio {
 				return 0
 			}
@@ -200,8 +241,8 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 			// compaction proceeds concurrently behind the read barrier.
 			return gcCtx.Clock.Cycles(sim.CatMark) + gcCtx.Clock.Cycles(sim.CatSummary) - before
 		}
-		hooks.EpochOpen = func() bool { return open }
-		hooks.Step = func(n int) (bool, uint64) {
+		m.hooks.EpochOpen = func() bool { return open }
+		m.hooks.Step = func(n int) (bool, uint64) {
 			eng.StepCompaction(gcCtx, n)
 			if eng.EpochPending() > 0 {
 				return true, 0
@@ -213,11 +254,12 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 			return false, gcCtx.Clock.Total() - t0
 		}
 	case "stw":
-		name = "STW defrag"
+		m.name = "STW defrag"
 		opt := core.Options{Scheme: core.SchemeEspresso, TriggerRatio: 1.10, TargetRatio: 1.01, BatchObjects: 64}
-		eng = core.NewEngine(env.Pool, opt)
-		closeEng = eng.Close
-		hooks.Maintenance = func(uint64) uint64 {
+		eng := core.NewEngine(env.Pool, opt)
+		m.eng, m.closeEng = eng, eng.Close
+		gcCtx := m.gcCtx
+		m.hooks.Maintenance = func(uint64) uint64 {
 			if env.Pool.Heap().Frag(12).FragRatio <= opt.TriggerRatio {
 				return 0
 			}
@@ -225,60 +267,139 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 			return pause
 		}
 	case "mesh":
-		name = "Mesh"
+		m.name = "Mesh"
 		d := mesh.New(env.Pool)
-		hooks.Maintenance = func(uint64) uint64 {
+		gcCtx := m.gcCtx
+		m.hooks.Maintenance = func(uint64) uint64 {
 			before := gcCtx.Clock.Total()
 			d.RunCycle(gcCtx)
 			return gcCtx.Clock.Total() - before // meshing pauses the world
 		}
-		hooks.Foot = func() alloc.FragStats { return d.PhysFrag(12) }
+		m.hooks.Foot = func() alloc.FragStats { return d.PhysFrag(12) }
 	default:
-		return ServingVariant{}, 0, fmt.Errorf("experiments.Serving: unknown scheme %q", scheme)
+		return nil, fmt.Errorf("experiments.Serving: unknown scheme %q", scheme)
 	}
 
-	var series *obsv.TimeSeries
 	if !o.NoWindows {
-		series = obsv.NewTimeSeries(scheme, o.WindowCycles, o.ExemplarK)
-		hooks.Series = series
-		if eng != nil {
-			hooks.EpochInfo = eng.OpenEpoch
+		// The series label is the scheme on every shard; exemplar stall
+		// causes carry the shard id, which the merge's total order uses.
+		m.series = obsv.NewTimeSeries(scheme, o.WindowCycles, o.ExemplarK)
+		m.hooks.Series = m.series
+		if m.eng != nil {
+			m.hooks.EpochInfo = m.eng.OpenEpoch
 		}
 	}
 	if col := obsCollector.Load(); col != nil {
-		ob := col.NewObs("serving/" + scheme)
-		ob.Series = series
-		ob.Tracer.Name(env.Ctx, "loader")
-		ob.Tracer.Name(gcCtx, "gc")
-		env.Pool.Device().SetObs(ob)
-		if eng != nil {
-			eng.SetObs(ob)
+		label := "serving/" + scheme
+		if shards > 1 {
+			label = fmt.Sprintf("serving/%s/s%d", scheme, shard)
 		}
-		registerRunGroups(ob, env.Ctx, gcCtx, eng)
+		ob := col.NewObs(label)
+		ob.Series = m.series
+		ob.Tracer.Name(env.Ctx, "loader")
+		ob.Tracer.Name(m.gcCtx, "gc")
+		env.Pool.Device().SetObs(ob)
+		if m.eng != nil {
+			m.eng.SetObs(ob)
+		}
+		registerRunGroups(ob, env.Ctx, m.gcCtx, m.eng)
+	}
+	return m, nil
+}
+
+func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64, error) {
+	n := o.Shards
+	if n < 1 {
+		n = 1
+	}
+	cfgs := redisws.ShardConfigs(servingConfig(o), n)
+	machines := make([]*servingMachine, 0, n)
+	defer func() {
+		for _, m := range machines {
+			if m.closeEng != nil {
+				m.closeEng()
+			}
+		}
+	}()
+	shards := make([]redisws.Shard, n)
+	for i := 0; i < n; i++ {
+		keys := o.Keyspace
+		if n > 1 {
+			keys = len(redisws.OwnedKeys(uint64(o.Keyspace), i, n))
+		}
+		m, err := newServingMachine(scheme, o, keys, i, n)
+		if err != nil {
+			return ServingVariant{}, 0, err
+		}
+		machines = append(machines, m)
+		shards[i] = redisws.Shard{Ctx: m.env.Ctx, Pool: m.env.Pool, Store: m.store, Hooks: m.hooks}
 	}
 
-	out, err := redisws.Serve(env.Ctx, env.Pool, store, cfg, hooks)
+	sh, err := redisws.ServeSharded(shards, cfgs)
 	if err != nil {
 		return ServingVariant{}, 0, err
 	}
-	n := float64(out.Ops)
+	out := sh.Merged
+
+	var series *obsv.TimeSeries
+	var shardSeries []*obsv.TimeSeries
+	if !o.NoWindows {
+		if n == 1 {
+			series = machines[0].series
+		} else {
+			shardSeries = make([]*obsv.TimeSeries, n)
+			for i, m := range machines {
+				shardSeries[i] = m.series
+			}
+			series, err = redisws.MergeShardSeries(scheme, o.WindowCycles, o.ExemplarK, shardSeries)
+			if err != nil {
+				return ServingVariant{}, 0, err
+			}
+		}
+	}
+
+	simTotal := out.SimCycles
+	for _, m := range machines {
+		simTotal += m.gcCtx.Clock.Total()
+	}
+
+	nOps := float64(out.Ops)
 	v := ServingVariant{
-		Name:       name,
+		Name:       machines[0].name,
 		P50:        out.Lat.Percentile(50),
 		P99:        out.Lat.Percentile(99),
 		P999:       out.Lat.Percentile(99.9),
 		Max:        out.Lat.Max(),
-		MeanApp:    float64(out.AppCycles) / n,
-		MeanInterf: float64(out.InterfCycles) / n,
-		MeanStall:  float64(out.StallWaitCycles) / n,
-		MeanQueue:  float64(out.QueueWaitCycles) / n,
+		MeanApp:    float64(out.AppCycles) / nOps,
+		MeanInterf: float64(out.InterfCycles) / nOps,
+		MeanStall:  float64(out.StallWaitCycles) / nOps,
+		MeanQueue:  float64(out.QueueWaitCycles) / nOps,
 		FinalFragR: out.Final.FragRatio,
-		SimCycles:  out.SimCycles + gcCtx.Clock.Total(),
+		SimCycles:  simTotal,
 		Parallel:   out.ParallelOps,
 		Serial:     out.SerialOps,
 		Batches:    out.Batches,
 		Evictions:  out.Evictions,
 		Series:     series,
+		Shards:     n,
+	}
+	if n > 1 {
+		v.ShardSeries = shardSeries
+		v.PerShard = make([]ServingShard, n)
+		for i := range sh.Shards {
+			r := &sh.Shards[i]
+			v.PerShard[i] = ServingShard{
+				Shard:     i,
+				Ops:       r.Ops,
+				P50:       r.Lat.Percentile(50),
+				P999:      r.Lat.Percentile(99.9),
+				Rate:      r.RateUsed,
+				SimCycles: r.SimCycles + machines[i].gcCtx.Clock.Total(),
+				Parallel:  r.ParallelOps,
+				Serial:    r.SerialOps,
+				Evictions: r.Evictions,
+			}
+		}
 	}
 	if out.Gets > 0 {
 		v.HitRate = float64(out.Hits) / float64(out.Gets)
@@ -288,8 +409,12 @@ func runServingVariant(scheme string, o ServingOptions) (ServingVariant, float64
 
 func (r ServingResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Serving — open-loop SLO comparison: %d clients, %d ops, %.0f ops/s offered\n",
+	fmt.Fprintf(&b, "Serving — open-loop SLO comparison: %d clients, %d ops, %.0f ops/s offered",
 		r.Clients, r.Ops, r.Rate)
+	if r.Shards > 1 {
+		fmt.Fprintf(&b, ", %d shards", r.Shards)
+	}
+	b.WriteString("\n")
 	t := stats.NewTable("scheme", "p50(cyc)", "p99(cyc)", "p999(cyc)", "max(cyc)",
 		"app(cyc)", "interf", "stall", "queue", "hit%", "fragR", "par-ops")
 	for _, v := range r.Variants {
@@ -297,6 +422,17 @@ func (r ServingResult) String() string {
 			v.MeanApp, v.MeanInterf, v.MeanStall, v.MeanQueue, v.HitRate*100, v.FinalFragR, v.Parallel)
 	}
 	b.WriteString(t.String())
+	for _, v := range r.Variants {
+		if len(v.PerShard) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-shard rows — %s:\n", v.Name)
+		st := stats.NewTable("shard", "ops", "p50(cyc)", "p999(cyc)", "rate(ops/s)", "par-ops", "serial", "evict")
+		for _, s := range v.PerShard {
+			st.Add(s.Shard, s.Ops, s.P50, s.P999, s.Rate, s.Parallel, s.Serial, s.Evictions)
+		}
+		b.WriteString(st.String())
+	}
 	for _, v := range r.Variants {
 		if v.Series == nil || v.Series.Count() == 0 {
 			continue
@@ -343,6 +479,9 @@ func (r ServingResult) Metrics() map[string]float64 {
 		"serving.ops":          float64(r.Ops),
 		"serving.rate_per_sec": r.Rate,
 	}
+	if r.Shards > 0 {
+		m["serving.shards"] = float64(r.Shards)
+	}
 	var total uint64
 	for _, v := range r.Variants {
 		k := "serving." + schemeKey(v.Name) + "."
@@ -370,6 +509,12 @@ func (r ServingResult) Metrics() map[string]float64 {
 				}
 			}
 			m[k+"worst_window_p999_cycles"] = float64(worst)
+		}
+		for _, s := range v.PerShard {
+			sk := fmt.Sprintf("%sshard%d.", k, s.Shard)
+			m[sk+"ops"] = float64(s.Ops)
+			m[sk+"p999_cycles"] = s.P999
+			m[sk+"sim_cycles"] = float64(s.SimCycles)
 		}
 		total += v.SimCycles
 	}

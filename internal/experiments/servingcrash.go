@@ -6,6 +6,7 @@ import (
 
 	"ffccd/internal/faultinject"
 	"ffccd/internal/obsv"
+	"ffccd/internal/redisws"
 	"ffccd/internal/stats"
 )
 
@@ -28,6 +29,12 @@ type ServingCrashOptions struct {
 	WindowCycles uint64
 	// AdmitCap overrides the degraded-mode admission bound (0 = default).
 	AdmitCap int
+
+	// Shards runs each variant as a sharded deployment (0/1 = unsharded);
+	// the crash blacks out shard CrashShard while its siblings keep serving,
+	// so the grid also measures partial availability.
+	Shards     int
+	CrashShard int
 }
 
 // ServingCrashVariant is one scheme's crash-availability measurement.
@@ -59,8 +66,19 @@ type ServingCrashVariant struct {
 	SimCycles uint64
 
 	// Series is the run's windowed time series with recovery/backoff overlay
-	// intervals (rendered by ffccd-inspect -timeline).
-	Series *obsv.TimeSeries
+	// intervals (rendered by ffccd-inspect -timeline). For a sharded variant
+	// it is the deterministic merge and ShardSeries carries the per-shard
+	// lanes.
+	Series      *obsv.TimeSeries
+	ShardSeries []*obsv.TimeSeries
+
+	// Sharded-deployment fields (zero when Shards <= 1). SiblingOps counts
+	// the completions sibling shards served inside the crashed shard's
+	// blackout — the partial-availability measurement a sharded deployment
+	// buys.
+	Shards     int
+	CrashShard int
+	SiblingOps uint64
 }
 
 // ServingCrashResult is the whole grid.
@@ -97,6 +115,12 @@ func servingCrashDefaults(o ServingCrashOptions) ServingCrashOptions {
 			o.WindowCycles = 50_000
 		}
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.CrashShard < 0 || o.CrashShard >= o.Shards {
+		o.CrashShard = 0
+	}
 	return o
 }
 
@@ -123,22 +147,38 @@ func ServingCrash(o ServingCrashOptions) (ServingCrashResult, error) {
 func runServingCrashVariant(scheme string, o ServingCrashOptions) (ServingCrashVariant, error) {
 	base := faultinject.NewServeRepro(scheme, o.Seed)
 	base.Clients, base.Ops, base.Keys = o.Clients, o.Ops, o.Keyspace
+	base.Shards, base.Shard = o.Shards, o.CrashShard
 
 	census, err := faultinject.RunServeScheduled(base, faultinject.ServeTrialOptions{})
 	if err != nil {
 		return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s census: %w", scheme, err)
 	}
+	// The armed site indexes the crash-target shard's own site space, which
+	// for a sharded deployment is that shard's census, not the sum.
 	total := census.Census.Total
+	if o.Shards > 1 {
+		total = census.ShardCensus[o.CrashShard].Total
+	}
 	if total == 0 {
 		return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s: no crash sites in dispatch phase", scheme)
 	}
 
 	armed := base
 	armed.Site = int64(float64(total) * o.SiteFrac)
-	series := obsv.NewTimeSeries(scheme, o.WindowCycles, 0)
-	topts := faultinject.ServeTrialOptions{
-		AdmitCap: o.AdmitCap,
-		Series:   func(faultinject.ServeRepro) *obsv.TimeSeries { return series },
+	var series *obsv.TimeSeries
+	var shardSeries []*obsv.TimeSeries
+	topts := faultinject.ServeTrialOptions{AdmitCap: o.AdmitCap}
+	if o.Shards > 1 {
+		shardSeries = make([]*obsv.TimeSeries, o.Shards)
+		for i := range shardSeries {
+			shardSeries[i] = obsv.NewTimeSeries(scheme, o.WindowCycles, 0)
+		}
+		topts.ShardSeries = func(_ faultinject.ServeRepro, shard int) *obsv.TimeSeries {
+			return shardSeries[shard]
+		}
+	} else {
+		series = obsv.NewTimeSeries(scheme, o.WindowCycles, 0)
+		topts.Series = func(faultinject.ServeRepro) *obsv.TimeSeries { return series }
 	}
 	out, err := faultinject.RunServeScheduled(armed, topts)
 	if err != nil {
@@ -147,6 +187,11 @@ func runServingCrashVariant(scheme string, o ServingCrashOptions) (ServingCrashV
 	}
 	if out.Crash == nil {
 		return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s: armed site %d did not fire", scheme, armed.Site)
+	}
+	if o.Shards > 1 {
+		if series, err = redisws.MergeShardSeries(scheme, o.WindowCycles, 0, shardSeries); err != nil {
+			return ServingCrashVariant{}, fmt.Errorf("experiments.ServingCrash: %s: %w", scheme, err)
+		}
 	}
 
 	sv := out.Serve
@@ -165,11 +210,35 @@ func runServingCrashVariant(scheme string, o ServingCrashOptions) (ServingCrashV
 		P999:           sv.Lat.Percentile(99.9),
 		SimCycles:      sv.SimCycles,
 		Series:         series,
+		ShardSeries:    shardSeries,
+		Shards:         o.Shards,
+		CrashShard:     o.CrashShard,
+	}
+	if o.Shards > 1 {
+		v.SiblingOps = siblingOpsInBlackout(shardSeries, o.CrashShard, sv.CrashCycle, sv.ResumeCycle)
 	}
 	if v.Series != nil {
 		v.RampCycles, v.RampWindows = p999Ramp(v.Series.Windows(), sv.CrashCycle, sv.ResumeCycle)
 	}
 	return v, nil
+}
+
+// siblingOpsInBlackout counts the completions the non-crashed shards served
+// in windows overlapping [crash, resume) — the work the deployment kept doing
+// while one machine was dark.
+func siblingOpsInBlackout(shardSeries []*obsv.TimeSeries, crashShard int, crash, resume uint64) uint64 {
+	var ops uint64
+	for s, ts := range shardSeries {
+		if s == crashShard || ts == nil {
+			continue
+		}
+		for _, w := range ts.Windows() {
+			if w.Start < resume && w.End > crash {
+				ops += w.Count
+			}
+		}
+	}
+	return ops
 }
 
 // p999Ramp measures how long the tail stays degraded after a resume: the
@@ -228,6 +297,12 @@ func (r ServingCrashResult) String() string {
 	}
 	b.WriteString(t.String())
 	for _, v := range r.Variants {
+		if v.Shards > 1 {
+			fmt.Fprintf(&b, "%s: %d shards, crash on shard %d; siblings served %d ops during the blackout\n",
+				v.Name, v.Shards, v.CrashShard, v.SiblingOps)
+		}
+	}
+	for _, v := range r.Variants {
 		if v.Series == nil || v.Series.Count() == 0 {
 			continue
 		}
@@ -256,6 +331,10 @@ func (r ServingCrashResult) Metrics() map[string]float64 {
 		m[k+"admitted"] = float64(v.Admitted)
 		m[k+"p999_cycles"] = v.P999
 		m[k+"sim_cycles"] = float64(v.SimCycles)
+		if v.Shards > 1 {
+			m["servingcrash.shards"] = float64(v.Shards)
+			m[k+"sibling_ops_in_blackout"] = float64(v.SiblingOps)
+		}
 		total += v.SimCycles
 	}
 	m["sim_cycles_total"] = float64(total)

@@ -24,7 +24,14 @@ type ServeCampaignOptions struct {
 	// Clients/Ops/Keys override the serving volumes (0 = defaults).
 	Clients, Ops, Keys int
 	// MaxSites bounds the scheduled sites per scheme; 0 sweeps exhaustively.
+	// For a sharded campaign the budget is split evenly across shards
+	// (minimum one site per shard).
 	MaxSites int
+	// Shards runs each trial as a sharded deployment (0/1 = unsharded). One
+	// census pass yields every shard's site census; each shard's site space is
+	// then swept with that shard as the crash target while its siblings keep
+	// serving.
+	Shards int
 	// Nested adds crash-during-recovery schedules; MaxNested caps them
 	// (0 = same as the number of first-level sites selected).
 	Nested    bool
@@ -63,28 +70,43 @@ func (f ServeFailure) String() string {
 // ServeCampaignOutcome summarises one scheme's serving campaign.
 type ServeCampaignOutcome struct {
 	Scheme string
-	// SitesTotal is the census site count; Scheduled the trials actually run
-	// (first-level + nested, census excluded).
+	// Shards is the deployment width the campaign ran at (1 = unsharded).
+	Shards int
+	// SitesTotal is the census site count (summed over shards when sharded);
+	// Scheduled the trials actually run (first-level + nested, census
+	// excluded).
 	SitesTotal uint64
 	Scheduled  int
 	Passed     int
 	// Covered counts, per site class, the first-level crashes that actually
-	// fired in that class — the campaign's coverage summary.
-	Covered  [pmem.NumSiteClasses]int
-	Failures []ServeFailure
+	// fired in that class — the campaign's coverage summary. ShardCovered
+	// splits the same counts by crash-target shard (nil when unsharded).
+	Covered      [pmem.NumSiteClasses]int
+	ShardCovered [][pmem.NumSiteClasses]int
+	Failures     []ServeFailure
 }
 
 // CoverageString renders the sites-per-class coverage line a campaign summary
-// prints.
+// prints; sharded campaigns prefix each shard's counts with its index.
 func (o ServeCampaignOutcome) CoverageString() string {
-	var parts []string
-	for c := pmem.SiteClass(0); c < pmem.NumSiteClasses; c++ {
-		if o.Covered[c] > 0 {
-			parts = append(parts, fmt.Sprintf("%s:%d", c, o.Covered[c]))
+	classes := func(cov [pmem.NumSiteClasses]int) string {
+		var parts []string
+		for c := pmem.SiteClass(0); c < pmem.NumSiteClasses; c++ {
+			if cov[c] > 0 {
+				parts = append(parts, fmt.Sprintf("%s:%d", c, cov[c]))
+			}
 		}
+		if len(parts) == 0 {
+			return "none"
+		}
+		return strings.Join(parts, " ")
 	}
-	if len(parts) == 0 {
-		return "none"
+	if len(o.ShardCovered) == 0 {
+		return classes(o.Covered)
+	}
+	var parts []string
+	for s, cov := range o.ShardCovered {
+		parts = append(parts, fmt.Sprintf("s%d[%s]", s, classes(cov)))
 	}
 	return strings.Join(parts, " ")
 }
@@ -116,8 +138,13 @@ func runServeWatched(rep ServeRepro, topts ServeTrialOptions, timeout time.Durat
 
 // ExploreServeScheme runs the serving crash campaign for one scheme.
 func ExploreServeScheme(scheme string, co ServeCampaignOptions) ServeCampaignOutcome {
-	out := ServeCampaignOutcome{Scheme: scheme}
+	nsh := co.Shards
+	if nsh < 1 {
+		nsh = 1
+	}
+	out := ServeCampaignOutcome{Scheme: scheme, Shards: nsh}
 	base := NewServeRepro(scheme, co.Seed)
+	base.Shards = nsh
 	if co.Clients > 0 {
 		base.Clients = co.Clients
 	}
@@ -129,26 +156,45 @@ func ExploreServeScheme(scheme string, co ServeCampaignOptions) ServeCampaignOut
 	}
 
 	// Census pass: count the sites (and verify the no-crash run end to end).
+	// A sharded pass census-arms every shard, so one run yields each shard's
+	// own site space.
 	census, err, hung := runServeWatched(base, co.Trial, co.Timeout)
 	if err != nil {
 		out.Failures = append(out.Failures, ServeFailure{Repro: base, Err: err.Error(), Hung: hung})
 		return out
 	}
-	out.SitesTotal = census.Census.Total
+	shardCensus := []pmem.SiteCensus{census.Census}
+	if nsh > 1 {
+		shardCensus = census.ShardCensus
+		out.ShardCovered = make([][pmem.NumSiteClasses]int, nsh)
+	}
+	for _, sc := range shardCensus {
+		out.SitesTotal += sc.Total
+	}
 	if out.SitesTotal == 0 {
 		return out
 	}
 
 	// First-level schedules: one crash per selected site, policy rotating per
-	// site, salt derived from the site index.
-	sites := selectSites(census.Census, co.MaxSites)
-	reps := make([]ServeRepro, len(sites))
-	for i, site := range sites {
-		r := base
-		r.Site = site
-		r.Policy = Policies[i%len(Policies)]
-		r.Salt = uint64(site)*0x9E3779B97F4A7C15 + uint64(co.Seed)
-		reps[i] = r
+	// site, salt derived from the site index. A sharded campaign sweeps each
+	// shard's site space in shard order, the per-scheme budget split evenly.
+	maxPerShard := co.MaxSites
+	if maxPerShard > 0 && nsh > 1 {
+		maxPerShard /= nsh
+		if maxPerShard < 1 {
+			maxPerShard = 1
+		}
+	}
+	var reps []ServeRepro
+	for sh, sc := range shardCensus {
+		for _, site := range selectSites(sc, maxPerShard) {
+			r := base
+			r.Shard = sh
+			r.Site = site
+			r.Policy = Policies[len(reps)%len(Policies)]
+			r.Salt = uint64(site)*0x9E3779B97F4A7C15 + uint64(co.Seed) + uint64(sh)
+			reps = append(reps, r)
+		}
 	}
 	type jobOut struct {
 		res  ServeScheduleResult
@@ -218,6 +264,9 @@ func ExploreServeScheme(scheme string, co ServeCampaignOptions) ServeCampaignOut
 				out.Passed++
 				if firstLevel && o.res.Crash != nil {
 					out.Covered[o.res.Crash.Class]++
+					if out.ShardCovered != nil {
+						out.ShardCovered[reps[i].Shard][o.res.Crash.Class]++
+					}
 				}
 				continue
 			}
@@ -249,11 +298,14 @@ func ExploreServing(schemes []string, co ServeCampaignOptions) []ServeCampaignOu
 }
 
 // shrinkServeCost orders serving schedules by how much work replaying them
-// takes.
+// takes. Extra shards multiply the machine count, so they weigh heavily.
 func shrinkServeCost(r ServeRepro) int64 {
 	c := int64(r.Ops)*8 + int64(r.Keys)*2 + int64(r.Clients) + r.Site
 	if r.Nested >= 0 {
 		c += r.Nested
+	}
+	if r.Shards > 1 {
+		c += int64(r.Shards-1) * int64(r.Ops)
 	}
 	return c
 }
@@ -291,10 +343,18 @@ func ShrinkServeRepro(rep ServeRepro, topts ServeTrialOptions, timeout time.Dura
 			if c.Clients < 1 {
 				c.Clients = 1
 			}
+			if c.Shards < 1 {
+				c.Shards = 1
+			}
+			if c.Shard >= c.Shards {
+				c.Shard = c.Shards - 1
+			}
 			if c != best && shrinkServeCost(c) < shrinkServeCost(best) {
 				cands = append(cands, c)
 			}
 		}
+		add(func(r *ServeRepro) { r.Shards = 1; r.Shard = 0 })
+		add(func(r *ServeRepro) { r.Shards = r.Shards / 2 })
 		add(func(r *ServeRepro) { r.Nested = -1 })
 		add(func(r *ServeRepro) { r.Nested = r.Nested / 2 })
 		add(func(r *ServeRepro) { r.Ops = r.Ops / 2 })

@@ -56,6 +56,13 @@ type ServeRepro struct {
 	Nested  int64  `json:"nested"` // recovery crash-site index; -1 = none
 	Policy  string `json:"policy"`
 	Salt    uint64 `json:"salt"`
+
+	// Shards is the sharded-deployment machine count (1 = the unsharded
+	// trial; pre-sharding repro lines parse as Shards=1). Shard names the
+	// machine the crash schedule targets — Site indexes that shard's own
+	// site census, so a one-line repro stays deterministic under sharding.
+	Shards int `json:"shards"`
+	Shard  int `json:"shard"`
 }
 
 // NewServeRepro returns a census-pass schedule for one scheme with default
@@ -64,7 +71,7 @@ func NewServeRepro(scheme string, seed int64) ServeRepro {
 	return ServeRepro{
 		Scheme: scheme, Seed: seed,
 		Clients: DefaultServeClients, Ops: DefaultServeOps, Keys: DefaultServeKeys,
-		Site: -1, Nested: -1, Policy: PolicyDrop,
+		Site: -1, Nested: -1, Policy: PolicyDrop, Shards: 1,
 	}
 }
 
@@ -89,7 +96,7 @@ func (r ServeRepro) MarshalLine() string {
 // ParseServeRepro parses MarshalLine output (unknown fields rejected so typos
 // in hand-edited repro lines fail loudly).
 func ParseServeRepro(line string) (ServeRepro, error) {
-	r := ServeRepro{Site: -1, Nested: -1}
+	r := ServeRepro{Site: -1, Nested: -1, Shards: 1}
 	dec := json.NewDecoder(bytes.NewReader([]byte(line)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&r); err != nil {
@@ -97,6 +104,12 @@ func ParseServeRepro(line string) (ServeRepro, error) {
 	}
 	if !validServeScheme(r.Scheme) {
 		return r, fmt.Errorf("faultinject: unknown serving scheme %q", r.Scheme)
+	}
+	if r.Shards < 1 {
+		r.Shards = 1
+	}
+	if r.Shard < 0 || r.Shard >= r.Shards {
+		return r, fmt.Errorf("faultinject: shard %d out of range for %d shards", r.Shard, r.Shards)
 	}
 	if _, err := PolicyFor(r.Policy, r.Salt); err != nil {
 		return r, err
@@ -117,8 +130,11 @@ type ServeTrialOptions struct {
 	// watchdog).
 	AfterRecovery func(ctx *sim.Ctx, p *pmop.Pool, s ds.Store)
 	// Series, when non-nil, supplies a fresh time series per trial (the run's
-	// recovery/backoff overlay intervals land in it).
+	// recovery/backoff overlay intervals land in it). Unsharded trials only.
 	Series func(rep ServeRepro) *obsv.TimeSeries
+	// ShardSeries, when non-nil, supplies one time series per shard of a
+	// sharded trial (shard in [0, rep.Shards)).
+	ShardSeries func(rep ServeRepro, shard int) *obsv.TimeSeries
 	// AdmitCap overrides the degraded-mode admission-queue bound
 	// (0 = redisws default, Clients/4+1).
 	AdmitCap int
@@ -139,11 +155,21 @@ type ServeScheduleResult struct {
 	// completed recovery, in order.
 	RecoveryStages []string
 	// PostCrashHash digests the media right after the (first) crash;
-	// FinalHash digests it after the resumed run quiesces. Equal hashes across
-	// runs of the same ServeRepro are the bit-identity witness.
+	// FinalHash digests it after the resumed run quiesces (for a sharded
+	// trial, an order-fixed fold of the per-shard hashes). Equal hashes
+	// across runs of the same ServeRepro are the bit-identity witness.
 	PostCrashHash, FinalHash uint64
-	// Serve is the completed serving run (availability metrics included).
-	Serve redisws.ServeResult
+	// Serve is the completed serving run (availability metrics included);
+	// for a sharded trial it is the deterministic merge and PerShard carries
+	// the per-machine rows (nil when Shards <= 1).
+	Serve    redisws.ServeResult
+	PerShard []redisws.ServeResult
+	// ShardCensus is the per-shard dispatch-phase site census of a sharded
+	// census pass (index = shard id; nil when Shards <= 1 or Site >= 0).
+	ShardCensus []pmem.SiteCensus
+	// ShardHashes are the per-shard final media hashes FinalHash folds
+	// (nil when Shards <= 1).
+	ShardHashes []uint64
 }
 
 // serveCoreScheme maps a serving scheme name to the engine scheme recovery
@@ -241,10 +267,66 @@ func serveConfigFor(rep ServeRepro) redisws.ServeConfig {
 	return cfg
 }
 
+// serveMachine is one independent simulated machine of a serving trial: its
+// runtime, pool, loader context, store, GC clock domain, scheme engine, and
+// hooks. curPool/curEng track the incarnation a crash recovery swapped in.
+type serveMachine struct {
+	rt    *pmop.Runtime
+	pool  *pmop.Pool
+	dev   *pmem.Device
+	ctx   *sim.Ctx
+	store ds.Store
+	gcCtx *sim.Ctx
+	eng   *core.Engine
+	d     *mesh.Defragmenter
+	hooks redisws.ServeHooks
+
+	curPool *pmop.Pool
+	curEng  *core.Engine
+}
+
+// buildServeMachine constructs one trial machine for scheme, sized for keys
+// owned keys (the whole keyspace unsharded, the hash-owned subset per shard).
+func buildServeMachine(cfg *sim.Config, scheme string, keys int) (*serveMachine, error) {
+	poolBytes := uint64(keys)*512*6 + (16 << 20)
+	rt := pmop.NewRuntime(cfg, poolBytes*2)
+	reg := pmop.NewRegistry()
+	ds.RegisterTypes(reg)
+	kv.RegisterTypes(reg)
+	p, err := rt.Create("serve", poolBytes, 12, reg)
+	if err != nil {
+		return nil, err
+	}
+	ctx := sim.NewCtx(cfg)
+	s, err := kv.NewEcho(ctx, p, keys/2+64)
+	if err != nil {
+		return nil, err
+	}
+	m := &serveMachine{
+		rt: rt, pool: p, dev: p.Device(), ctx: ctx, store: s,
+		gcCtx: sim.NewCtx(cfg), curPool: p,
+	}
+	if sc := serveCoreScheme(scheme); sc != core.SchemeNone {
+		m.eng = core.NewEngine(p, serveEngineOptions(scheme))
+		m.curEng = m.eng
+	}
+	if scheme == "mesh" {
+		m.d = mesh.New(p)
+	}
+	m.hooks = wireServeHooks(scheme, p, m.eng, m.d, m.gcCtx)
+	return m, nil
+}
+
 // RunServeScheduled executes one deterministic serving crash trial. The
 // returned error is the trial verdict (nil = consistent; recovery failures and
 // durable-ack violations are verdicts). The ServeScheduleResult is populated
 // as far as the trial got even on failure.
+//
+// With rep.Shards > 1 the trial runs one machine per shard: the crash plan
+// arms only shard rep.Shard — its power failure blacks out that shard while
+// the siblings keep serving — and the per-shard results merge
+// deterministically. A sharded census pass (Site = -1) census-arms every
+// shard, so one run yields each shard's own site census (ShardCensus).
 func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleResult, error) {
 	var res ServeScheduleResult
 	if !validServeScheme(rep.Scheme) {
@@ -259,6 +341,12 @@ func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleRes
 	if rep.Keys <= 0 {
 		rep.Keys = DefaultServeKeys
 	}
+	if rep.Shards < 1 {
+		rep.Shards = 1
+	}
+	if rep.Shard < 0 || rep.Shard >= rep.Shards {
+		return res, fmt.Errorf("faultinject: shard %d out of range for %d shards", rep.Shard, rep.Shards)
+	}
 	policy, err := PolicyFor(rep.Policy, rep.Salt)
 	if err != nil {
 		return res, err
@@ -266,43 +354,39 @@ func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleRes
 
 	cfg := sim.DefaultConfig()
 	cfg.CacheBytes = 256 * 1024
-	poolBytes := uint64(rep.Keys)*512*6 + (16 << 20)
-	rt := pmop.NewRuntime(&cfg, poolBytes*2)
-	reg := pmop.NewRegistry()
-	ds.RegisterTypes(reg)
-	kv.RegisterTypes(reg)
-	p, err := rt.Create("serve", poolBytes, 12, reg)
-	if err != nil {
-		return res, err
+	nsh := rep.Shards
+	machines := make([]*serveMachine, nsh)
+	shardKeys := make([]int, nsh)
+	for i := 0; i < nsh; i++ {
+		keys := rep.Keys
+		if nsh > 1 {
+			keys = len(redisws.OwnedKeys(uint64(rep.Keys), i, nsh))
+		}
+		shardKeys[i] = keys
+		if machines[i], err = buildServeMachine(&cfg, rep.Scheme, keys); err != nil {
+			return res, err
+		}
 	}
-	dev := p.Device()
-	ctx := sim.NewCtx(&cfg)
-	s, err := kv.NewEcho(ctx, p, rep.Keys/2+64)
-	if err != nil {
-		return res, err
-	}
-
-	gcCtx := sim.NewCtx(&cfg)
-	var eng *core.Engine
-	if sc := serveCoreScheme(rep.Scheme); sc != core.SchemeNone {
-		eng = core.NewEngine(p, serveEngineOptions(rep.Scheme))
-	}
-	var d *mesh.Defragmenter
-	if rep.Scheme == "mesh" {
-		d = mesh.New(p)
-	}
-	hooks := wireServeHooks(rep.Scheme, p, eng, d, gcCtx)
-	if opts.Series != nil {
-		hooks.Series = opts.Series(rep)
+	target := machines[rep.Shard]
+	if nsh == 1 {
+		if opts.Series != nil {
+			target.hooks.Series = opts.Series(rep)
+		}
+	} else if opts.ShardSeries != nil {
+		for i := range machines {
+			machines[i].hooks.Series = opts.ShardSeries(rep, i)
+		}
 	}
 
-	// The current machine (swapped by the crash plan's Recover). The pre-crash
-	// engine is abandoned wholesale at a crash, like the batch driver: its
-	// volatile state is exactly what the power failure destroys.
-	curPool, curEng := p, eng
+	// The crash plan arms only the target shard; siblings never lose power.
+	// The pre-crash engine is abandoned wholesale at a crash, like the batch
+	// driver: its volatile state is exactly what the power failure destroys.
+	dev := target.dev
+	gcCtx := target.gcCtx
+	targetKeys := shardKeys[rep.Shard]
 	crashed := false
 
-	hooks.Crash = &redisws.CrashPlan{
+	target.hooks.Crash = &redisws.CrashPlan{
 		AdmitCap: opts.AdmitCap,
 		Arm:      func() { dev.ArmSites(rep.Site) },
 		Recover: func(crash *pmem.CrashAtSite, acked map[uint64][]byte, pending *redisws.PendingWrite) (*redisws.Recovered, error) {
@@ -317,7 +401,7 @@ func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleRes
 			// cycles the server is gone.
 			recCtx := sim.NewCtx(&cfg)
 			attach := func() (*pmop.Pool, error) {
-				rt2, err := pmop.Attach(&cfg, rt.Device())
+				rt2, err := pmop.Attach(&cfg, target.rt.Device())
 				if err != nil {
 					return nil, err
 				}
@@ -377,7 +461,7 @@ func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleRes
 			if d2 != nil {
 				d2.RestoreFrameStates()
 			}
-			s2, err := kv.NewEcho(recCtx, p2, rep.Keys/2+64)
+			s2, err := kv.NewEcho(recCtx, p2, targetKeys/2+64)
 			if err != nil {
 				return nil, err
 			}
@@ -391,14 +475,19 @@ func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleRes
 			if pending != nil {
 				pw = &checker.PendingWrite{Key: pending.Key, Val: pending.Val}
 			}
-			model, err := checker.DurableAcks(chkCtx, s2, acked, pw)
+			var model map[uint64][]byte
+			if nsh > 1 {
+				model, err = checker.DurableAcksShard(chkCtx, rep.Shard, s2, acked, pw)
+			} else {
+				model, err = checker.DurableAcks(chkCtx, s2, acked, pw)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("durable-ack check (%s): %w", rep.Scheme, err)
 			}
 			if _, err := checker.CheckGraph(chkCtx, p2); err != nil {
 				return nil, fmt.Errorf("post-recovery graph check (%s): %w", rep.Scheme, err)
 			}
-			curPool, curEng = p2, e2
+			target.curPool, target.curEng = p2, e2
 			return &redisws.Recovered{
 				Store:  s2,
 				Pool:   p2,
@@ -408,9 +497,28 @@ func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleRes
 			}, nil
 		},
 	}
+	// A sharded census pass census-arms the sibling shards too, so a single
+	// run yields every shard's site census. Arming charges no simulated
+	// cycles, so sibling behaviour is bit-identical to an armed pass.
+	if nsh > 1 && rep.Site < 0 {
+		for i := range machines {
+			if i == rep.Shard {
+				continue
+			}
+			md := machines[i].dev
+			machines[i].hooks.Crash = &redisws.CrashPlan{Arm: func() { md.ArmSites(-1) }}
+		}
+	}
 
-	out, err := redisws.Serve(ctx, p, s, serveConfigFor(rep), hooks)
-	res.Serve = out
+	shards := make([]redisws.Shard, nsh)
+	for i, m := range machines {
+		shards[i] = redisws.Shard{Ctx: m.ctx, Pool: m.pool, Store: m.store, Hooks: m.hooks}
+	}
+	sharded, err := redisws.ServeSharded(shards, redisws.ShardConfigs(serveConfigFor(rep), nsh))
+	res.Serve = sharded.Merged
+	if nsh > 1 {
+		res.PerShard = sharded.Shards
+	}
 	if err != nil {
 		return res, err
 	}
@@ -418,14 +526,45 @@ func RunServeScheduled(rep ServeRepro, opts ServeTrialOptions) (ServeScheduleRes
 		// Census pass, or the armed site was past the end of the run.
 		res.Census = dev.DisarmSites()
 	}
-	if curEng != nil {
-		curEng.Close()
+	if nsh > 1 && rep.Site < 0 {
+		res.ShardCensus = make([]pmem.SiteCensus, nsh)
+		for i, m := range machines {
+			if i == rep.Shard {
+				res.ShardCensus[i] = res.Census
+			} else {
+				res.ShardCensus[i] = m.dev.DisarmSites()
+			}
+		}
 	}
-	dev.FlushAll(ctx)
-	res.FinalHash = dev.HashMedia()
+	for _, m := range machines {
+		if m.curEng != nil {
+			m.curEng.Close()
+		}
+		m.dev.FlushAll(m.ctx)
+	}
+	if nsh == 1 {
+		res.FinalHash = dev.HashMedia()
+	} else {
+		// Fold the per-shard hashes in shard order (FNV-1a over the shard
+		// digests) — one bit-identity witness for the whole deployment.
+		res.ShardHashes = make([]uint64, nsh)
+		h := uint64(1469598103934665603)
+		for i, m := range machines {
+			hs := m.dev.HashMedia()
+			res.ShardHashes[i] = hs
+			h ^= hs
+			h *= 1099511628211
+		}
+		res.FinalHash = h
+	}
 	chkCtx := sim.NewCtx(&cfg)
-	if _, err := checker.CheckGraph(chkCtx, curPool); err != nil {
-		return res, fmt.Errorf("final graph check (%s): %w", rep.Scheme, err)
+	for i, m := range machines {
+		if _, err := checker.CheckGraph(chkCtx, m.curPool); err != nil {
+			if nsh > 1 {
+				return res, fmt.Errorf("final graph check (%s, shard %d): %w", rep.Scheme, i, err)
+			}
+			return res, fmt.Errorf("final graph check (%s): %w", rep.Scheme, err)
+		}
 	}
 	return res, nil
 }

@@ -122,6 +122,9 @@ type StallCause struct {
 	CacheSet int `json:"cache_set"`
 	// Key is the workload key the request touched.
 	Key uint64 `json:"key"`
+	// Shard is the serving shard the request executed on (0 in unsharded
+	// runs; omitted from JSON there so pre-sharding records are unchanged).
+	Shard int `json:"shard,omitempty"`
 }
 
 // Dominant names the largest cycle component of the cause: "app",
@@ -205,7 +208,12 @@ func exLess(a, b Exemplar) bool {
 	if a.Arrival != b.Arrival {
 		return a.Arrival < b.Arrival
 	}
-	return a.Cause.Key < b.Cause.Key
+	if a.Cause.Key != b.Cause.Key {
+		return a.Cause.Key < b.Cause.Key
+	}
+	// Sharded merge: two shards can each complete a request with identical
+	// (latency, arrival, key); the shard id makes worst-K selection total.
+	return a.Cause.Shard < b.Cause.Shard
 }
 
 // WindowSnap is the exported snapshot of one completed window.
@@ -303,6 +311,62 @@ func (ts *TimeSeries) ObserveOp(op OpSample) {
 // AddInterval records one overlay interval (an open epoch or an STW pause).
 func (ts *TimeSeries) AddInterval(kind string, start, end, epoch uint64) {
 	ts.ivs.Add(kind, start, end, epoch)
+}
+
+// Merge folds another series (same window width required) into ts — the
+// sharded-serving merge. Per-window histograms merge exactly, cycle sums and
+// counts add, worst-K exemplars re-select under the total exLess order
+// (latency desc, arrival asc, key asc, shard asc), and overlay intervals
+// union. Windows fold in ascending index order and every per-window
+// operation is order-insensitive or totally ordered, so the merged series is
+// bit-identical however the shards were scheduled on the host.
+func (ts *TimeSeries) Merge(o *TimeSeries) error {
+	if o == nil {
+		return nil
+	}
+	if o.width != ts.width {
+		return fmt.Errorf("obsv: TimeSeries.Merge width mismatch: %d vs %d", ts.width, o.width)
+	}
+
+	o.mu.Lock()
+	idxs := make([]uint64, 0, len(o.win))
+	for idx := range o.win {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	ts.mu.Lock()
+	for _, idx := range idxs {
+		ow := o.win[idx]
+		w := ts.win[idx]
+		if w == nil {
+			w = &window{index: idx}
+			ts.win[idx] = w
+		}
+		w.count += ow.count
+		w.hist.Merge(&ow.hist)
+		w.app += ow.app
+		w.inter += ow.inter
+		w.stall += ow.stall
+		w.queue += ow.queue
+		w.ex = append(w.ex, ow.ex...)
+		sort.SliceStable(w.ex, func(i, j int) bool { return exLess(w.ex[i], w.ex[j]) })
+		if len(w.ex) > ts.k {
+			w.ex = w.ex[:ts.k:ts.k]
+		}
+	}
+	if o.wex != nil && (ts.wex == nil || exLess(*o.wex, *ts.wex)) {
+		cp := *o.wex
+		ts.wex = &cp
+	}
+	ts.seen += o.seen
+	ts.mu.Unlock()
+	o.mu.Unlock()
+
+	for _, iv := range o.Intervals() {
+		ts.ivs.Add(iv.Kind, iv.Start, iv.End, iv.Epoch)
+	}
+	return nil
 }
 
 // Intervals returns the overlay intervals sorted by start cycle.

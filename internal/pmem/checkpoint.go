@@ -1,6 +1,10 @@
 package pmem
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"ffccd/internal/workpool"
+)
 
 // Device checkpoint/restore for the fork-based experiment driver
 // (DESIGN.md §7): capture the complete simulated machine-memory state —
@@ -125,6 +129,68 @@ func (d *Device) CheckpointInto(c *DeviceCheckpoint) {
 	c.Stats = t
 }
 
+// parallelRestoreBytes is the media volume above which Restore fans its
+// spans out on the worker pool; below it the fan-out overhead exceeds the
+// copy cost.
+const parallelRestoreBytes = 1 << 20
+
+// restoreSpan is one contiguous media range a Restore must rewrite: either
+// zeroed (a page of the target's dirty set the checkpoint does not cover) or
+// copied from the checkpoint's page data.
+type restoreSpan struct {
+	mediaOff uint64
+	dataOff  uint64 // into DeviceCheckpoint.PageData; copy spans only
+	n        uint64
+	zero     bool
+}
+
+// restoreSpans plans a Restore as coalesced disjoint spans: the zero walk
+// over own &^ checkpoint pages, then the checkpoint's page copies, with runs
+// of consecutive pages merged. Zero and copy spans address disjoint page
+// sets by construction.
+func restoreSpans(own []uint64, c *DeviceCheckpoint, size uint64) []restoreSpan {
+	var spans []restoreSpan
+	push := func(s restoreSpan) {
+		if n := len(spans); n > 0 {
+			prev := &spans[n-1]
+			if prev.zero == s.zero && prev.mediaOff+prev.n == s.mediaOff &&
+				(s.zero || prev.dataOff+prev.n == s.dataOff) {
+				prev.n += s.n
+				return
+			}
+		}
+		spans = append(spans, s)
+	}
+	for w, bw := range own {
+		if w < len(c.Dirty) {
+			bw &^= c.Dirty[w]
+		}
+		for bw != 0 {
+			p := uint64(w<<6 + bits.TrailingZeros64(bw))
+			bw &= bw - 1
+			start := p << DirtyPageShift
+			end := start + DirtyPageSize
+			if end > size {
+				end = size
+			}
+			if end > start {
+				push(restoreSpan{mediaOff: start, n: end - start, zero: true})
+			}
+		}
+	}
+	for i, p := range c.Pages {
+		start := uint64(p) << DirtyPageShift
+		end := start + DirtyPageSize
+		if end > size {
+			end = size
+		}
+		if end > start {
+			push(restoreSpan{mediaOff: start, dataOff: uint64(i) << DirtyPageShift, n: end - start})
+		}
+	}
+	return spans
+}
+
 // dirtyPages expands a dirty bitmap into ascending page indices.
 func dirtyPages(bitmap []uint64) []uint32 {
 	var out []uint32
@@ -149,32 +215,35 @@ func (d *Device) Restore(c *DeviceCheckpoint) {
 	}
 	size := uint64(len(d.media))
 	// Zero this device's dirty pages the checkpoint does not cover (its
-	// covered pages are overwritten below), then adopt the checkpoint's
-	// bitmap.
-	for w, bw := range d.dirty {
-		if w < len(c.Dirty) {
-			bw &^= c.Dirty[w]
+	// covered pages are overwritten below) and copy the checkpoint's pages
+	// in, then adopt its bitmap. Runs of consecutive pages coalesce into
+	// spans — one clear()/copy() per span instead of one call per page — and
+	// a large restore fans the spans out on the worker pool: the spans are
+	// pairwise disjoint byte ranges and each span's content is independent
+	// of every other, so host execution order cannot change the result.
+	spans := restoreSpans(d.dirty, c, size)
+	apply := func(s restoreSpan) {
+		if s.zero {
+			clear(d.media[s.mediaOff : s.mediaOff+s.n])
+		} else {
+			copy(d.media[s.mediaOff:s.mediaOff+s.n], c.PageData[s.dataOff:s.dataOff+s.n])
 		}
-		for bw != 0 {
-			p := uint64(w<<6 + bits.TrailingZeros64(bw))
-			bw &= bw - 1
-			start := p << DirtyPageShift
-			end := start + DirtyPageSize
-			if end > size {
-				end = size
-			}
-			clear(d.media[start:end])
+	}
+	var total uint64
+	for _, s := range spans {
+		total += s.n
+	}
+	if total >= parallelRestoreBytes && len(spans) > 1 {
+		_ = workpool.ForEach(len(spans), func(i int) error {
+			apply(spans[i])
+			return nil
+		})
+	} else {
+		for _, s := range spans {
+			apply(s)
 		}
 	}
 	copy(d.dirty, c.Dirty)
-	for i, p := range c.Pages {
-		start := uint64(p) << DirtyPageShift
-		end := start + DirtyPageSize
-		if end > size {
-			end = size
-		}
-		copy(d.media[start:end], c.PageData[uint64(i)<<DirtyPageShift:])
-	}
 	for i := range d.sets {
 		set := &d.sets[i]
 		cs := &c.Sets[i]

@@ -58,6 +58,32 @@ func (r *LatencyRecorder) Observe(v uint64) {
 	}
 }
 
+// Cap returns the reservoir capacity.
+func (r *LatencyRecorder) Cap() int { return r.cap }
+
+// Merge folds another recorder into r (sharded-serving merge). The histogram
+// merge is exact. The reservoirs concatenate in call order; when the result
+// overflows the capacity it is thinned by a systematic (every len/cap-th
+// element) subsample — deterministic, which the bit-identical merge needs,
+// though no longer a uniform sample of the combined stream. The histogram
+// remains the record of truth; ReservoirPercentile stays exact whenever the
+// combined count fits the capacity.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	r.Hist.Merge(o.Hist)
+	combined := make([]uint64, 0, len(r.sample)+len(o.sample))
+	combined = append(combined, r.sample...)
+	combined = append(combined, o.sample...)
+	if len(combined) > r.cap {
+		kept := make([]uint64, r.cap)
+		for i := range kept {
+			kept[i] = combined[i*len(combined)/r.cap]
+		}
+		combined = kept
+	}
+	r.sample = combined
+	r.seen += o.seen
+}
+
 // Count returns the number of recorded latencies.
 func (r *LatencyRecorder) Count() uint64 { return r.seen }
 

@@ -68,6 +68,15 @@ type ServeConfig struct {
 	MaintEvery   int // ops between maintenance-hook calls (default Keyspace/4)
 	WarmupOps    int // serial warmup ops before arrivals start (default 64/client, also the calibration window)
 	ReservoirCap int
+
+	// ShardIndex/ShardCount place this run inside a sharded deployment: the
+	// machine owns only the keys of Keyspace whose hash maps to ShardIndex
+	// (see OwnedKeys), and exemplar stall causes carry the shard id. With
+	// ShardCount <= 1 the run is byte-for-byte the unsharded dispatcher —
+	// there is one serving path, not two (pinned by
+	// TestServeShardedOneShardMatchesServe).
+	ShardIndex int
+	ShardCount int
 }
 
 // DefaultServeConfig returns a small serving setup (tests and smoke runs
@@ -364,8 +373,28 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		foot = func() alloc.FragStats { return p.Heap().Frag(p.PageShift()) }
 	}
 
+	// Shard key ownership. Unsharded runs (ShardCount <= 1) take the identity
+	// mapping with no slice allocated, so their RNG draws and store traffic
+	// are bit-identical to the pre-sharding dispatcher. A sharded run owns
+	// the hash-selected subset and draws its Zipf ranks over that subset
+	// only — the popularity skew applies within the shard, matching a
+	// frontend that hashes each user key to one backend.
+	var owned []uint64
+	nOwned := uint64(cfg.Keyspace)
+	if cfg.ShardCount > 1 {
+		owned = OwnedKeys(uint64(cfg.Keyspace), cfg.ShardIndex, cfg.ShardCount)
+		nOwned = uint64(len(owned))
+		if nOwned == 0 {
+			return ServeResult{}, errors.New("redisws.Serve: shard owns no keys; Keyspace too small for ShardCount")
+		}
+	}
+	keyAt := func(rank uint64) uint64 { return rank }
+	if owned != nil {
+		keyAt = func(rank uint64) uint64 { return owned[rank] }
+	}
+
 	rng := workload.NewRNG(cfg.Seed)
-	zipf := NewZipf(rng, uint64(cfg.Keyspace), cfg.ZipfTheta)
+	zipf := NewZipf(rng, nOwned, cfg.ZipfTheta)
 
 	res := ServeResult{
 		Lat:        NewLatencyRecorder(cfg.ReservoirCap, cfg.Seed^0x5ca1ab1e),
@@ -433,17 +462,18 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		return nil
 	}
 
-	// Prepopulate the keyspace on the loader context.
-	for k := 0; k < cfg.Keyspace; k++ {
+	// Prepopulate the owned keyspace on the loader context.
+	for i := uint64(0); i < nOwned; i++ {
+		k := keyAt(i)
 		n := lo + rng.Intn(hi-lo+1)
-		v := fillValue(uint64(k), n)
-		if err := store.Insert(ctx, uint64(k), v); err != nil {
+		v := fillValue(k, n)
+		if err := store.Insert(ctx, k, v); err != nil {
 			return res, err
 		}
 		if acked != nil {
-			acked[uint64(k)] = v
+			acked[k] = v
 		}
-		elems[uint64(k)] = lru.PushFront(lruEnt{uint64(k), uint64(n)})
+		elems[k] = lru.PushFront(lruEnt{k, uint64(n)})
 		liveBytes += uint64(n)
 		if err := evict(ctx); err != nil {
 			return res, err
@@ -482,9 +512,9 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		c := clients[i%cfg.Clients].ctx
 		t0 := c.Clock.Total()
 		if rng.Float64() < cfg.GetFraction {
-			store.Get(c, zipf.Next())
+			store.Get(c, keyAt(zipf.Next()))
 		} else {
-			k := zipf.Next()
+			k := keyAt(zipf.Next())
 			n := lo + rng.Intn(hi-lo+1)
 			v := fillValue(k, n)
 			if err := store.Insert(c, k, v); err != nil {
@@ -630,7 +660,7 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 		op := pendingOp{cli: id, arrival: c.nextArrival, retryAt: c.resubmitAt}
 		c.resubmitAt = 0
 		op.isGet = rng.Float64() < cfg.GetFraction
-		op.key = zipf.Next()
+		op.key = keyAt(zipf.Next())
 		if !op.isGet {
 			op.valSize = lo + rng.Intn(hi-lo+1)
 		}
@@ -715,6 +745,7 @@ func Serve(ctx *sim.Ctx, p *pmop.Pool, store ds.Store, cfg ServeConfig, hooks Se
 				QueueWait: queueWait,
 				CacheSet:  -1,
 				Key:       op.key,
+				Shard:     cfg.ShardIndex,
 			}
 			if epochOpen {
 				cause.Phase, cause.Epoch = "compacting", epTrack.id

@@ -13,13 +13,15 @@
 #      path, not -parallel, so the override plumbing is exercised too).
 #   3. Serving rows: the open-loop SLO grid (serving experiment) — per-scheme
 #      p50/p99/p999 and their app/interference/stall/queue decomposition,
-#      demonstrating the FFCCD-vs-STW tail separation — plus in-run
-#      parallel-scaling rows under FFCCD_PARALLEL=1 and =4. Unlike family 2
-#      (which parallelizes across scheme variants), these exercise the
-#      batched-dispatch parallelism INSIDE one serving run; sim_cycles_total
-#      must be bit-identical across the pair. Serving rows also embed the
-#      per-window time series ("windows": per-scheme throughput, p50/p99/
-#      p999, cycle decomposition, and GC overlay flags per window).
+#      demonstrating the FFCCD-vs-STW tail separation — plus the sharded
+#      scaling grid: shards 1/2/4, each under FFCCD_PARALLEL=1 and =4.
+#      Unlike family 2 (which parallelizes across scheme variants), these
+#      exercise host parallelism INSIDE one serving run — batched dispatch
+#      at shards=1, whole simulated machines as workpool jobs at shards>1.
+#      sim_cycles_total must be bit-identical across FFCCD_PARALLEL within
+#      one shard count. Serving rows also embed the per-window time series
+#      ("windows": per-scheme throughput, p50/p99/p999, cycle decomposition,
+#      and GC overlay flags per window).
 #   4. Paper-scale rows: fig5 and fig14 at -scale paper (1.0, the paper's
 #      full 5M-insert setup). Hours of wall-clock on a small host — skip
 #      with FFCCD_BENCH_PAPER=0.
@@ -77,13 +79,22 @@ for P in 1 2 4 8; do
 	parts="$parts $f"
 done
 
-# 3. Serving rows: the SLO grid, then the in-run parallel-scaling pair.
+# 3. Serving rows: the SLO grid, then the sharded scaling grid — shards 1/2/4
+#    each under FFCCD_PARALLEL=1 and =4. shards=1 is the unsharded dispatcher
+#    (its rows carry no shards field, so the gate diffs them against older
+#    records directly — the one-shard regression pin at the BENCH level);
+#    shards>1 splits the keyspace across independent simulated machines run
+#    as host-parallel jobs. sim_cycles_total is bit-identical across
+#    FFCCD_PARALLEL within one shard count but differs BETWEEN shard counts
+#    (different machine sets) — bench_gate keys on the shards field.
 run bench_serving.json -experiment serving -scale "$SCALE" -repeat "$REPEAT"
-for P in 1 4; do
-	f="$TMP/bench_serving_p$P.json"
-	FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
-		-experiment serving -scale "$SCALE" >/dev/null
-	parts="$parts $f"
+for S in 1 2 4; do
+	for P in 1 4; do
+		f="$TMP/bench_serving_s${S}_p$P.json"
+		FFCCD_PARALLEL=$P "$TMP/ffccd-bench" -json "$f" \
+			-experiment serving -scale "$SCALE" -shards "$S" >/dev/null
+		parts="$parts $f"
+	done
 done
 
 # 4. Paper-scale rows (scale 1.0; a single repetition — these run for hours).

@@ -34,6 +34,7 @@ type record struct {
 	Experiment    string             `json:"experiment"`
 	Scale         float64            `json:"scale"`
 	Parallel      int                `json:"parallel"`
+	Shards        int                `json:"shards"`
 	HostCores     int                `json:"host_cores"`
 	FFCCDParallel int                `json:"ffccd_parallel"`
 	Fork          bool               `json:"fork"`
@@ -43,15 +44,17 @@ type record struct {
 	Metrics       map[string]float64 `json:"metrics"`
 }
 
-// simKey groups rows whose simulated results must be bit-identical.
+// simKey groups rows whose simulated results must be bit-identical. Shards
+// joins in because an N-shard deployment is a different simulated machine
+// set — its cycle totals legitimately differ from the unsharded run's.
 func (r record) simKey() string {
-	return fmt.Sprintf("%s/scale=%g", r.Experiment, r.Scale)
+	return fmt.Sprintf("%s/scale=%g/shards=%d", r.Experiment, r.Scale, r.Shards)
 }
 
 // hostKey groups rows whose wall-clock is comparable like-for-like.
 func (r record) hostKey() string {
-	return fmt.Sprintf("%s/scale=%g/parallel=%d/ffccd_parallel=%d/fork=%t/span=%t",
-		r.Experiment, r.Scale, r.Parallel, r.FFCCDParallel, r.Fork, r.Span)
+	return fmt.Sprintf("%s/scale=%g/shards=%d/parallel=%d/ffccd_parallel=%d/fork=%t/span=%t",
+		r.Experiment, r.Scale, r.Shards, r.Parallel, r.FFCCDParallel, r.Fork, r.Span)
 }
 
 func load(path string) ([]record, error) {
